@@ -1,0 +1,271 @@
+package selfsim
+
+// Benchmark harness: one benchmark per reproduction experiment (E1–E14,
+// regenerating the paper's Figures 1–3 and every prose claim — see
+// DESIGN.md §3 for the experiment index), plus micro-benchmarks of the
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the same code paths as
+// cmd/experiments at quick scale, so `-bench` doubles as a smoke test of
+// the full harness; ns/op numbers measure the cost of regenerating each
+// experiment.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	ms "repro/internal/multiset"
+	"repro/internal/problems"
+)
+
+func benchSection(b *testing.B, run func(experiments.Config) experiments.Section) {
+	b.Helper()
+	cfg := experiments.QuickConfig()
+	for i := 0; i < b.N; i++ {
+		sec := run(cfg)
+		if !sec.ShapeHolds {
+			b.Fatalf("%s: shape does not hold\n%s", sec.ID, sec.Body)
+		}
+	}
+}
+
+// --- One benchmark per experiment (tables & figures) ---
+
+// BenchmarkE1Fig1Sorting regenerates Fig. 1: exhaustive local-to-global
+// search for the out-of-order-pairs objective.
+func BenchmarkE1Fig1Sorting(b *testing.B) { benchSection(b, experiments.E1Fig1) }
+
+// BenchmarkE2Fig2Circle regenerates Fig. 2: the naive circumscribing
+// circle is not super-idempotent.
+func BenchmarkE2Fig2Circle(b *testing.B) { benchSection(b, experiments.E2Fig2) }
+
+// BenchmarkE3Fig3Hull regenerates Fig. 3: the convex hull is
+// super-idempotent and computes the circumscribing circle under churn.
+func BenchmarkE3Fig3Hull(b *testing.B) { benchSection(b, experiments.E3Fig3) }
+
+// BenchmarkE4Adaptivity regenerates the availability sweep (rounds vs p).
+func BenchmarkE4Adaptivity(b *testing.B) { benchSection(b, experiments.E4Adaptivity) }
+
+// BenchmarkE5Partition regenerates the partition/heal/snapshot
+// comparison.
+func BenchmarkE5Partition(b *testing.B) { benchSection(b, experiments.E5Partition) }
+
+// BenchmarkE6Scale regenerates the rounds-vs-N scalability table.
+func BenchmarkE6Scale(b *testing.B) { benchSection(b, experiments.E6Scale) }
+
+// BenchmarkE7Sum regenerates the §4.2 complete-graph requirement table.
+func BenchmarkE7Sum(b *testing.B) { benchSection(b, experiments.E7Sum) }
+
+// BenchmarkE8Sort regenerates the §4.4 line-graph sorting table.
+func BenchmarkE8Sort(b *testing.B) { benchSection(b, experiments.E8Sort) }
+
+// BenchmarkE9Checkers regenerates the super-idempotence classification
+// table.
+func BenchmarkE9Checkers(b *testing.B) { benchSection(b, experiments.E9Classification) }
+
+// BenchmarkE10ModelCheck regenerates the proof-obligation model-checking
+// table.
+func BenchmarkE10ModelCheck(b *testing.B) { benchSection(b, experiments.E10ModelCheck) }
+
+// BenchmarkE11Ablation regenerates the granularity/baseline ablation.
+func BenchmarkE11Ablation(b *testing.B) { benchSection(b, experiments.E11Ablation) }
+
+// BenchmarkE12Fairness regenerates the fairness ablation.
+func BenchmarkE12Fairness(b *testing.B) { benchSection(b, experiments.E12Fairness) }
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkEngineRoundRing64 measures one simulated system per iteration:
+// min consensus on a 64-ring at 50% availability.
+func BenchmarkEngineRoundRing64(b *testing.B) {
+	g := Ring(64)
+	vals := rand.New(rand.NewSource(1)).Perm(256)[:64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate[int](NewMin(), EdgeChurn(g, 0.5), vals,
+			Options{Seed: int64(i), StopOnConverged: true, MaxRounds: 100_000})
+		if err != nil || !res.Converged {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkEnginePairwiseComplete32 measures pairwise-gossip sum runs.
+func BenchmarkEnginePairwiseComplete32(b *testing.B) {
+	g := Complete(32)
+	vals := rand.New(rand.NewSource(2)).Perm(128)[:32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate[int](NewSum(), EdgeChurn(g, 0.5), vals,
+			Options{Seed: int64(i), StopOnConverged: true, MaxRounds: 100_000, Mode: PairwiseMode})
+		if err != nil || !res.Converged {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkAsyncRuntimeMin measures the goroutine-per-agent runtime.
+func BenchmarkAsyncRuntimeMin(b *testing.B) {
+	g := Ring(16)
+	vals := rand.New(rand.NewSource(3)).Perm(64)[:16]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateAsync[int](NewMin(), g, vals, DefaultAsyncOptions(int64(i)))
+		if err != nil || !res.Converged {
+			b.Fatal("async run failed")
+		}
+	}
+}
+
+// BenchmarkMultisetUnion measures the canonical-merge union on 1k+1k
+// elements.
+func BenchmarkMultisetUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := ms.OfInts(rng.Perm(1000)...)
+	c := ms.OfInts(rng.Perm(1000)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Union(c).Len() != 2000 {
+			b.Fatal("bad union")
+		}
+	}
+}
+
+// BenchmarkConvexHull1000 measures the monotone-chain hull on 1000 random
+// points.
+func BenchmarkConvexHull1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(geom.ConvexHull(pts)) < 3 {
+			b.Fatal("degenerate hull")
+		}
+	}
+}
+
+// BenchmarkEnclosingCircle1000 measures Welzl's algorithm on 1000 points.
+func BenchmarkEnclosingCircle1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if geom.EnclosingCircle(pts).R <= 0 {
+			b.Fatal("degenerate circle")
+		}
+	}
+}
+
+// BenchmarkSuperIdempotenceChecker measures the randomized checker on the
+// min function.
+func BenchmarkSuperIdempotenceChecker(b *testing.B) {
+	gen := func(r *rand.Rand) ms.Multiset[int] {
+		n := 1 + r.Intn(8)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = r.Intn(16)
+		}
+		return ms.OfInts(vals...)
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CheckSuperIdempotent(problems.MinF(), ExactEqual[int](), gen, 100, rng.Int63()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelCheckMinK4 measures exhaustive exploration of min over K4
+// pairs.
+func BenchmarkModelCheckMinK4(b *testing.B) {
+	g := Complete(4)
+	for i := 0; i < b.N; i++ {
+		rep, err := ModelCheck[int](NewMin(), g, []int{5, 1, 3, 2})
+		if err != nil || !rep.OK() {
+			b.Fatal("model check failed")
+		}
+	}
+}
+
+// BenchmarkE13Continuous regenerates the continuous-extension experiment.
+func BenchmarkE13Continuous(b *testing.B) { benchSection(b, experiments.E13Continuous) }
+
+// BenchmarkFlowRing64 measures one full continuous averaging run on a
+// 64-ring under churn.
+func BenchmarkFlowRing64(b *testing.B) {
+	g := Ring(64)
+	x0 := make([]float64, 64)
+	for i := range x0 {
+		x0[i] = float64((i * 37) % 101)
+	}
+	e := EdgeChurn(g, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunFlow(e, x0, FlowOptions{Dt: 0.2, Rounds: 200_000, Seed: int64(i), Tol: 1e-6})
+		if err != nil || !res.Converged {
+			b.Fatal("flow run failed")
+		}
+	}
+}
+
+// BenchmarkAblationCheckStepsOverhead quantifies the runtime-verification
+// monitor's cost: the same run with and without D-step checking.
+func BenchmarkAblationCheckStepsOverhead(b *testing.B) {
+	g := Ring(32)
+	vals := rand.New(rand.NewSource(8)).Perm(128)[:32]
+	for _, check := range []bool{false, true} {
+		name := "monitor-off"
+		if check {
+			name = "monitor-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate[int](NewMin(), EdgeChurn(g, 0.5), vals,
+					Options{Seed: int64(i), StopOnConverged: true, CheckSteps: check, MaxRounds: 100_000})
+				if err != nil || !res.Converged {
+					b.Fatal("run failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE14EscapePostulate regenerates the §2.1 escape-postulate
+// demonstration.
+func BenchmarkE14EscapePostulate(b *testing.B) { benchSection(b, experiments.E14EscapePostulate) }
+
+// BenchmarkAblationGreedyVsPartialMin compares the two ends of the §4.1
+// algorithm class: full jumps to the group minimum vs. lazy partial
+// moves.
+func BenchmarkAblationGreedyVsPartialMin(b *testing.B) {
+	g := Ring(24)
+	vals := rand.New(rand.NewSource(9)).Perm(96)[:24]
+	for _, cfgCase := range []struct {
+		name string
+		p    Problem[int]
+	}{
+		{"greedy", NewMin()},
+		{"partial", NewPartialMin()},
+	} {
+		b.Run(cfgCase.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate[int](cfgCase.p, EdgeChurn(g, 0.5), vals,
+					Options{Seed: int64(i), StopOnConverged: true, MaxRounds: 200_000})
+				if err != nil || !res.Converged {
+					b.Fatal("run failed")
+				}
+			}
+		})
+	}
+}

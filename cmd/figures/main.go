@@ -1,0 +1,61 @@
+// Command figures regenerates the paper's three figures as machine-checked
+// artifacts:
+//
+//	figures -fig 1   # Fig. 1: out-of-order-pairs objective lacks local-to-global
+//	figures -fig 2   # Fig. 2: circumscribing circle is not super-idempotent
+//	figures -fig 3   # Fig. 3: convex hull is super-idempotent
+//	figures          # all three
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 2 or 3; 0 = all)")
+	quick := flag.Bool("quick", false, "reduced trial counts")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+
+	sections := map[int]func(experiments.Config) experiments.Section{
+		1: experiments.E1Fig1,
+		2: experiments.E2Fig2,
+		3: experiments.E3Fig3,
+	}
+
+	run := func(n int) bool {
+		sec := sections[n](cfg)
+		fmt.Printf("== %s: %s ==\n\nPaper's claim: %s\n\n%s\n", sec.ID, sec.Title, sec.Claim, sec.Body)
+		if sec.ShapeHolds {
+			fmt.Println("RESULT: the figure's claim holds. ✓")
+		} else {
+			fmt.Println("RESULT: the figure's claim DOES NOT hold. ✗")
+		}
+		fmt.Println()
+		return sec.ShapeHolds
+	}
+
+	ok := true
+	switch *fig {
+	case 0:
+		for n := 1; n <= 3; n++ {
+			ok = run(n) && ok
+		}
+	case 1, 2, 3:
+		ok = run(*fig)
+	default:
+		fmt.Fprintln(os.Stderr, "figures: -fig must be 0, 1, 2 or 3")
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

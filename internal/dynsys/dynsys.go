@@ -1,0 +1,231 @@
+// Package dynsys is an executable rendering of the paper's §2 model of
+// dynamic distributed systems: the product transition system over pairs
+// (G, S) of an environment state and the multiset of agent states.
+//
+// The paper defines:
+//
+//   - a system transition is EITHER an environment transition G → G' with
+//     S unchanged, OR an agents transition S → S' with G unchanged, where
+//     the agents' transition is composed of group transitions permitted
+//     by the relation R in the current environment state;
+//   - the escape relation  S # G  ≡  ∃S' ≠ S : (G,S) → (G,S')  ("S
+//     escapes G"), lifted to predicates Q on environment states:
+//     S # Q ≡ ∀G : Q(G) : S # G;
+//   - the escape postulate (1): if agents can transit from a state
+//     infinitely often then they eventually will —
+//     ∀S : S # Q : □◇Q ⇒ ◇(S ≠ S).
+//
+// The postulate is not a theorem: §2.1 notes a system in which "the
+// environment always transits from G to G' before the agents can take a
+// step", so agents stay stuck forever even though Q holds infinitely
+// often. This package makes both sides demonstrable: schedulers decide at
+// every step whether the environment or the agents move, an adversarial
+// scheduler reproduces the paper's counterexample, and a weakly fair
+// scheduler validates the postulate; the checkers verify each outcome on
+// recorded traces with the operators of internal/logic.
+package dynsys
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+)
+
+// System is a finite instantiation of the §2 model for agent-state
+// vectors of type []T. Environment states are identified by index into
+// EnvStates; the environment's own transition relation is unconstrained
+// (any G may follow any G), exactly as the paper prescribes ("we place no
+// direct constraints on state transitions of the environment").
+type System[T any] struct {
+	// EnvStates names the environment states (≥ 1).
+	EnvStates []string
+	// AgentSucc enumerates the agent transitions enabled while the
+	// environment is in state g: all vectors S' ≠ S reachable from s in
+	// one agents-transition. Stuttering is always permitted implicitly
+	// (R is reflexive) and must not be included.
+	AgentSucc func(g int, s []T) [][]T
+	// Eq compares agent-state vectors.
+	Eq func(a, b []T) bool
+}
+
+// Validate checks the system definition.
+func (sys *System[T]) Validate() error {
+	if len(sys.EnvStates) == 0 {
+		return errors.New("dynsys: no environment states")
+	}
+	if sys.AgentSucc == nil || sys.Eq == nil {
+		return errors.New("dynsys: AgentSucc and Eq are required")
+	}
+	return nil
+}
+
+// Escape reports the paper's S # G: while the environment is in state g,
+// the agents can transit from s to some different state.
+func (sys *System[T]) Escape(g int, s []T) bool {
+	for _, next := range sys.AgentSucc(g, s) {
+		if !sys.Eq(next, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// EscapeUnder reports S # Q for the predicate "the environment state's
+// index is in q": the agents can escape s under EVERY environment state
+// satisfying the predicate.
+func (sys *System[T]) EscapeUnder(q map[int]bool, s []T) bool {
+	any := false
+	for g := range sys.EnvStates {
+		if !q[g] {
+			continue
+		}
+		any = true
+		if !sys.Escape(g, s) {
+			return false
+		}
+	}
+	return any
+}
+
+// Step is one recorded transition of a run.
+type Step[T any] struct {
+	// Env is the environment state after the step.
+	Env int
+	// Agents is the agent vector after the step (aliased to the run's
+	// history storage; do not mutate).
+	Agents []T
+	// AgentMoved reports whether this was an agents-transition.
+	AgentMoved bool
+}
+
+// Scheduler decides, at each step of a run, whether the environment or
+// the agents move, and to where. It returns either (envNext, nil) for an
+// environment transition or (-1, agentsNext) for an agents transition;
+// agentsNext must be one of AgentSucc's results (or the current vector
+// for a stutter).
+type Scheduler[T any] interface {
+	// Name identifies the scheduler.
+	Name() string
+	// Next chooses the next transition given the current configuration.
+	Next(sys *System[T], g int, s []T, step int, rng *rand.Rand) (envNext int, agentsNext []T)
+}
+
+// Run executes steps transitions from (g0, s0) under the scheduler and
+// returns the recorded trace (including the initial configuration).
+func Run[T any](sys *System[T], sched Scheduler[T], g0 int, s0 []T, steps int, seed int64) ([]Step[T], error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if g0 < 0 || g0 >= len(sys.EnvStates) {
+		return nil, fmt.Errorf("dynsys: initial env state %d out of range", g0)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]Step[T], 0, steps+1)
+	cur := append([]T(nil), s0...)
+	g := g0
+	trace = append(trace, Step[T]{Env: g, Agents: cur})
+	for i := 0; i < steps; i++ {
+		envNext, agentsNext := sched.Next(sys, g, cur, i, rng)
+		if agentsNext == nil {
+			if envNext < 0 || envNext >= len(sys.EnvStates) {
+				return nil, fmt.Errorf("dynsys: scheduler chose env state %d out of range", envNext)
+			}
+			g = envNext
+			trace = append(trace, Step[T]{Env: g, Agents: cur})
+			continue
+		}
+		next := append([]T(nil), agentsNext...)
+		moved := !sys.Eq(next, cur)
+		cur = next
+		trace = append(trace, Step[T]{Env: g, Agents: cur, AgentMoved: moved})
+	}
+	return trace, nil
+}
+
+// --- Schedulers ---
+
+// EnvFlipper is the paper's §2.1 counterexample scheduler: the
+// environment always transits (cycling through its states) before the
+// agents can take a step. Agents never move, no matter what Q holds
+// infinitely often — the escape postulate fails.
+type EnvFlipper[T any] struct{}
+
+// Name implements Scheduler.
+func (EnvFlipper[T]) Name() string { return "env-flipper (paper's §2.1 counterexample)" }
+
+// Next implements Scheduler.
+func (EnvFlipper[T]) Next(sys *System[T], g int, _ []T, _ int, _ *rand.Rand) (int, []T) {
+	return (g + 1) % len(sys.EnvStates), nil
+}
+
+// WeaklyFair alternates: it grants the agents a step at least every
+// Period transitions (choosing uniformly among the enabled successors)
+// and lets the environment cycle otherwise. With Period ≥ 1 the escape
+// postulate holds on its runs.
+type WeaklyFair[T any] struct {
+	// Period is the maximum number of consecutive environment
+	// transitions (≥ 1).
+	Period int
+}
+
+// Name implements Scheduler.
+func (w WeaklyFair[T]) Name() string { return fmt.Sprintf("weakly-fair(period=%d)", w.Period) }
+
+// Next implements Scheduler.
+func (w WeaklyFair[T]) Next(sys *System[T], g int, s []T, step int, rng *rand.Rand) (int, []T) {
+	period := w.Period
+	if period < 1 {
+		period = 1
+	}
+	if step%(period+1) == period {
+		succs := sys.AgentSucc(g, s)
+		if len(succs) > 0 {
+			return -1, succs[rng.Intn(len(succs))]
+		}
+		return -1, s // forced stutter: nothing enabled here
+	}
+	return (g + 1) % len(sys.EnvStates), nil
+}
+
+// --- Postulate checking ---
+
+// PostulateReport summarizes an escape-postulate check on a trace.
+type PostulateReport struct {
+	// QInfinitelyOften reports the finite-trace reading of □◇Q.
+	QInfinitelyOften bool
+	// EscapableThroughout reports whether every recorded configuration
+	// satisfied S # Q (i.e. the hypothesis "agents can transit … was
+	// continuously available").
+	EscapableThroughout bool
+	// AgentsEverMoved reports ◇(S ≠ S(0)) — some agents-transition
+	// happened.
+	AgentsEverMoved bool
+	// Holds reports the postulate's implication on this trace: if the
+	// hypotheses held, the agents moved.
+	Holds bool
+}
+
+// CheckPostulate evaluates the escape postulate (1) on a recorded trace
+// for the environment predicate q.
+func CheckPostulate[T any](sys *System[T], trace []Step[T], q map[int]bool) PostulateReport {
+	tr := logic.Trace[Step[T]](trace)
+	rep := PostulateReport{
+		QInfinitelyOften: logic.AlwaysEventually(tr, func(st Step[T]) bool { return q[st.Env] }),
+		AgentsEverMoved:  logic.Eventually(tr, func(st Step[T]) bool { return st.AgentMoved }),
+	}
+	rep.EscapableThroughout = true
+	for _, st := range trace {
+		if st.AgentMoved {
+			break // hypotheses only need to hold while stuck
+		}
+		if !sys.EscapeUnder(q, st.Agents) {
+			rep.EscapableThroughout = false
+			break
+		}
+	}
+	hyp := rep.QInfinitelyOften && rep.EscapableThroughout
+	rep.Holds = !hyp || rep.AgentsEverMoved
+	return rep
+}

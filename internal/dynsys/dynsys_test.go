@@ -1,0 +1,197 @@
+package dynsys
+
+import (
+	"testing"
+)
+
+// minSystem is a two-agent minimum-consensus instance in the §2 model:
+// two environment states G0 ("link up") and G1 ("link down"); while the
+// link is up the agents can equalize to the minimum, while it is down
+// nothing is enabled.
+func minSystem() *System[int] {
+	eq := func(a, b []int) bool { return a[0] == b[0] && a[1] == b[1] }
+	return &System[int]{
+		EnvStates: []string{"link-up", "link-down"},
+		Eq:        eq,
+		AgentSucc: func(g int, s []int) [][]int {
+			if g != 0 {
+				return nil // link down: no collaborative step enabled
+			}
+			m := s[0]
+			if s[1] < m {
+				m = s[1]
+			}
+			if s[0] == m && s[1] == m {
+				return nil // already converged
+			}
+			return [][]int{{m, m}}
+		},
+	}
+}
+
+// flippySystem has TWO link-up states (both satisfying Q) so the paper's
+// counterexample applies: the environment can flip between them forever,
+// Q holds at every instant, yet agents never get a turn.
+func flippySystem() *System[int] {
+	base := minSystem()
+	return &System[int]{
+		EnvStates: []string{"up-A", "up-B"},
+		Eq:        base.Eq,
+		AgentSucc: func(g int, s []int) [][]int {
+			// Both states enable the same transition (both are "up").
+			return base.AgentSucc(0, s)
+		},
+	}
+}
+
+func TestEscapeRelation(t *testing.T) {
+	sys := minSystem()
+	// Unconverged and link up: escapable.
+	if !sys.Escape(0, []int{5, 3}) {
+		t.Error("S # G0 should hold for unconverged state")
+	}
+	// Link down: not escapable.
+	if sys.Escape(1, []int{5, 3}) {
+		t.Error("S # G1 should fail (link down)")
+	}
+	// Converged: not escapable anywhere (stability).
+	if sys.Escape(0, []int{3, 3}) {
+		t.Error("converged state escapable")
+	}
+}
+
+func TestEscapeUnderPredicate(t *testing.T) {
+	sys := minSystem()
+	up := map[int]bool{0: true}
+	both := map[int]bool{0: true, 1: true}
+	if !sys.EscapeUnder(up, []int{5, 3}) {
+		t.Error("S # {up} should hold")
+	}
+	// Under the weaker predicate including link-down states, escape is
+	// NOT guaranteed at every satisfying state.
+	if sys.EscapeUnder(both, []int{5, 3}) {
+		t.Error("S # {up,down} should fail")
+	}
+	// Empty predicate: vacuous ∀ but the definition requires Q to be
+	// satisfiable to be useful; EscapeUnder returns false.
+	if sys.EscapeUnder(map[int]bool{}, []int{5, 3}) {
+		t.Error("empty predicate escaped")
+	}
+}
+
+// The paper's §2.1 counterexample, executable: both environment states
+// satisfy Q, the agents could escape under either, Q holds at every step
+// — but the EnvFlipper scheduler never lets the agents act, so the escape
+// postulate FAILS on this run.
+func TestPaperCounterexamplePostulateFails(t *testing.T) {
+	sys := flippySystem()
+	trace, err := Run(sys, EnvFlipper[int]{}, 0, []int{5, 3}, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := map[int]bool{0: true, 1: true}
+	rep := CheckPostulate(sys, trace, q)
+	if !rep.QInfinitelyOften {
+		t.Error("Q should hold infinitely often")
+	}
+	if !rep.EscapableThroughout {
+		t.Error("the stuck state should be escapable under Q throughout")
+	}
+	if rep.AgentsEverMoved {
+		t.Error("agents moved under the flipper")
+	}
+	if rep.Holds {
+		t.Error("the postulate should FAIL on the flipper's runs — that is the paper's point")
+	}
+}
+
+// Under a weakly fair scheduler the postulate holds: the agents get a
+// turn, escape, and converge.
+func TestFairSchedulerSatisfiesPostulate(t *testing.T) {
+	sys := flippySystem()
+	trace, err := Run(sys, WeaklyFair[int]{Period: 3}, 0, []int{5, 3}, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := map[int]bool{0: true, 1: true}
+	rep := CheckPostulate(sys, trace, q)
+	if !rep.Holds || !rep.AgentsEverMoved {
+		t.Errorf("postulate should hold under fairness: %+v", rep)
+	}
+	// And the final state is converged.
+	last := trace[len(trace)-1].Agents
+	if last[0] != 3 || last[1] != 3 {
+		t.Errorf("final agents = %v, want [3 3]", last)
+	}
+}
+
+func TestFairSchedulerWithLinkDownState(t *testing.T) {
+	// minSystem has a genuinely disabling state; fairness over the
+	// environment cycle still converges because up-states recur.
+	sys := minSystem()
+	trace, err := Run(sys, WeaklyFair[int]{Period: 1}, 0, []int{9, 2}, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := trace[len(trace)-1].Agents
+	if last[0] != 2 || last[1] != 2 {
+		t.Errorf("final agents = %v, want [2 2]", last)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sys := minSystem()
+	if _, err := Run(sys, EnvFlipper[int]{}, 5, []int{1, 2}, 10, 1); err == nil {
+		t.Error("out-of-range env state accepted")
+	}
+	bad := &System[int]{EnvStates: nil}
+	if _, err := Run(bad, EnvFlipper[int]{}, 0, []int{1}, 10, 1); err == nil {
+		t.Error("invalid system accepted")
+	}
+	noSucc := &System[int]{EnvStates: []string{"g"}}
+	if err := noSucc.Validate(); err == nil {
+		t.Error("missing AgentSucc accepted")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	sys := minSystem()
+	trace, err := Run(sys, WeaklyFair[int]{Period: 2}, 0, []int{4, 1}, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 31 {
+		t.Fatalf("trace length = %d, want 31", len(trace))
+	}
+	// Environment and agents never change in the same step.
+	for i := 1; i < len(trace); i++ {
+		envChanged := trace[i].Env != trace[i-1].Env
+		if envChanged && trace[i].AgentMoved {
+			t.Fatalf("step %d changed both environment and agents", i)
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (EnvFlipper[int]{}).Name() == "" || (WeaklyFair[int]{Period: 2}).Name() == "" {
+		t.Error("empty scheduler names")
+	}
+}
+
+// The postulate report's Holds is vacuously true when the hypotheses
+// fail: a state that is NOT escapable under Q may stay stuck.
+func TestPostulateVacuous(t *testing.T) {
+	sys := minSystem()
+	// Q includes the link-down state, so S # Q fails: hypotheses false.
+	trace, err := Run(sys, EnvFlipper[int]{}, 0, []int{5, 3}, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckPostulate(sys, trace, map[int]bool{0: true, 1: true})
+	if rep.EscapableThroughout {
+		t.Error("escapable should fail with link-down in Q")
+	}
+	if !rep.Holds {
+		t.Error("postulate should hold vacuously")
+	}
+}

@@ -1,0 +1,187 @@
+package env
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// MarkovLinks is bursty link churn: each edge is an independent two-state
+// (up/down) Markov chain with transition probabilities PUpToDown and
+// PDownToUp per round. Unlike EdgeChurn's i.i.d. availability, outages are
+// *correlated in time* — long good stretches and long bad stretches with
+// the same average availability — which is the realistic wireless-fading
+// model the paper's motivation (§1.1) describes. Every edge has positive
+// probability of recovery, so assumption (2) holds almost surely.
+type MarkovLinks struct {
+	g *graph.Graph
+	// PUpToDown and PDownToUp are the per-round transition probabilities.
+	PUpToDown, PDownToUp float64
+
+	state  []bool
+	inited bool
+}
+
+// NewMarkovLinks builds a bursty-churn environment. The stationary
+// availability is PDownToUp / (PUpToDown + PDownToUp).
+func NewMarkovLinks(g *graph.Graph, pUpToDown, pDownToUp float64) *MarkovLinks {
+	return &MarkovLinks{g: g, PUpToDown: pUpToDown, PDownToUp: pDownToUp}
+}
+
+// StationaryAvailability returns the long-run fraction of time each edge
+// is up.
+func (e *MarkovLinks) StationaryAvailability() float64 {
+	d := e.PUpToDown + e.PDownToUp
+	if d == 0 {
+		return 1
+	}
+	return e.PDownToUp / d
+}
+
+// Name implements Environment.
+func (e *MarkovLinks) Name() string {
+	return fmt.Sprintf("markov-links(↓%.2f ↑%.2f, avail %.2f)",
+		e.PUpToDown, e.PDownToUp, e.StationaryAvailability())
+}
+
+// Graph implements Environment.
+func (e *MarkovLinks) Graph() *graph.Graph { return e.g }
+
+// Step implements Environment.
+func (e *MarkovLinks) Step(_ int, rng *rand.Rand) State {
+	if !e.inited {
+		e.state = make([]bool, e.g.M())
+		avail := e.StationaryAvailability()
+		for i := range e.state {
+			e.state[i] = rng.Float64() < avail
+		}
+		e.inited = true
+	}
+	for i, up := range e.state {
+		if up {
+			if rng.Float64() < e.PUpToDown {
+				e.state[i] = false
+			}
+		} else if rng.Float64() < e.PDownToUp {
+			e.state[i] = true
+		}
+	}
+	s := State{EdgeUp: make([]bool, e.g.M()), AgentUp: make([]bool, e.g.N())}
+	copy(s.EdgeUp, e.state)
+	for i := range s.AgentUp {
+		s.AgentUp[i] = true
+	}
+	return s
+}
+
+// DayNight is deterministic periodic availability: during the "day"
+// (DayRounds per period) all links are up; during the "night"
+// (NightRounds) all links are down — duty-cycled radios, orbital contact
+// windows. Assumption (2) holds with period DayRounds + NightRounds.
+type DayNight struct {
+	g *graph.Graph
+	// DayRounds and NightRounds are the phase lengths.
+	DayRounds, NightRounds int
+}
+
+// NewDayNight builds the periodic environment.
+func NewDayNight(g *graph.Graph, dayRounds, nightRounds int) *DayNight {
+	if dayRounds < 1 {
+		dayRounds = 1
+	}
+	if nightRounds < 0 {
+		nightRounds = 0
+	}
+	return &DayNight{g: g, DayRounds: dayRounds, NightRounds: nightRounds}
+}
+
+// Name implements Environment.
+func (e *DayNight) Name() string {
+	return fmt.Sprintf("day-night(%d/%d)", e.DayRounds, e.NightRounds)
+}
+
+// Graph implements Environment.
+func (e *DayNight) Graph() *graph.Graph { return e.g }
+
+// Day reports whether the given round is a day round.
+func (e *DayNight) Day(round int) bool {
+	period := e.DayRounds + e.NightRounds
+	return round%period < e.DayRounds
+}
+
+// Step implements Environment.
+func (e *DayNight) Step(round int, _ *rand.Rand) State {
+	s := AllUp(e.g)
+	if !e.Day(round) {
+		for i := range s.EdgeUp {
+			s.EdgeUp[i] = false
+		}
+	}
+	return s
+}
+
+// Compose layers environments over the same graph: an edge is up only
+// when every layer has it up, and an agent only when every layer has it
+// up. Use it to combine, e.g., bursty links with power-lossy agents.
+type Compose struct {
+	layers []Environment
+}
+
+// NewCompose builds the conjunction of the given environments, which must
+// all be over the same graph (checked).
+func NewCompose(layers ...Environment) (*Compose, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("env: Compose needs at least one layer")
+	}
+	g := layers[0].Graph()
+	for _, l := range layers[1:] {
+		if l.Graph() != g {
+			return nil, fmt.Errorf("env: Compose layers over different graphs (%s vs %s)",
+				g.Name(), l.Graph().Name())
+		}
+	}
+	return &Compose{layers: layers}, nil
+}
+
+// Name implements Environment.
+func (e *Compose) Name() string {
+	name := "compose("
+	for i, l := range e.layers {
+		if i > 0 {
+			name += " ∧ "
+		}
+		name += l.Name()
+	}
+	return name + ")"
+}
+
+// Graph implements Environment.
+func (e *Compose) Graph() *graph.Graph { return e.layers[0].Graph() }
+
+// Step implements Environment.
+func (e *Compose) Step(round int, rng *rand.Rand) State {
+	out := e.layers[0].Step(round, rng).Clone()
+	for _, l := range e.layers[1:] {
+		s := l.Step(round, rng)
+		for i := range out.EdgeUp {
+			out.EdgeUp[i] = out.EdgeUp[i] && s.EdgeUp[i]
+		}
+		for i := range out.AgentUp {
+			out.AgentUp[i] = out.AgentUp[i] && s.AgentUp[i]
+		}
+	}
+	return out
+}
+
+// ExpectedGapBound returns a crude upper bound on the expected number of
+// rounds between availabilities of a single edge under MarkovLinks —
+// 1/PDownToUp — useful for sizing MaxRounds in experiments. Returns +Inf
+// when recovery is impossible (PDownToUp = 0, violating (2)).
+func (e *MarkovLinks) ExpectedGapBound() float64 {
+	if e.PDownToUp <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / e.PDownToUp
+}

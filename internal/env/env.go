@@ -1,0 +1,548 @@
+// Package env models the paper's environment: the component of a dynamic
+// distributed system that enables and disables agents and communication
+// links (§1.2, §2.1).
+//
+// The environment has its own state and transitions; agents cannot
+// influence it, and designers cannot specify it. The only designer-visible
+// knob is the assumption set Q of predicates on environment states, each of
+// which must hold infinitely often (equation (2)). In §4 every Q is of the
+// form Q_E = {Q_e | e ∈ E} for a communication graph E, where Q_e reads
+// "edge e is available".
+//
+// A State here is therefore a mask over the edges of a graph plus a mask
+// over agents ("disabled" agents execute no actions and keep their state).
+// Environment implementations produce a State per round; the FairnessProbe
+// measures empirically whether each Q_e held infinitely often — i.e.
+// whether the run actually satisfied (2) — so experiments can correlate
+// convergence with the assumption the correctness theorem needs.
+package env
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// State is one environment state G restricted to what affects agents: which
+// edges are available and which agents are enabled. Slices are owned by the
+// environment and must be treated as read-only by consumers; engines copy
+// what they retain.
+type State struct {
+	EdgeUp  []bool // indexed by edge id of the underlying graph
+	AgentUp []bool // indexed by agent id
+}
+
+// AllUp returns a State with every edge and agent enabled.
+func AllUp(g *graph.Graph) State {
+	s := State{EdgeUp: make([]bool, g.M()), AgentUp: make([]bool, g.N())}
+	for i := range s.EdgeUp {
+		s.EdgeUp[i] = true
+	}
+	for i := range s.AgentUp {
+		s.AgentUp[i] = true
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (s State) Clone() State {
+	c := State{EdgeUp: make([]bool, len(s.EdgeUp)), AgentUp: make([]bool, len(s.AgentUp))}
+	copy(c.EdgeUp, s.EdgeUp)
+	copy(c.AgentUp, s.AgentUp)
+	return c
+}
+
+// UpEdgeCount returns the number of available edges.
+func (s State) UpEdgeCount() int {
+	n := 0
+	for _, up := range s.EdgeUp {
+		if up {
+			n++
+		}
+	}
+	return n
+}
+
+// UpAgentCount returns the number of enabled agents.
+func (s State) UpAgentCount() int {
+	n := 0
+	for _, up := range s.AgentUp {
+		if up {
+			n++
+		}
+	}
+	return n
+}
+
+// Environment produces a sequence of environment states over a fixed
+// communication graph. Implementations are deterministic functions of the
+// supplied random source, so runs are reproducible from a seed.
+type Environment interface {
+	// Name identifies the model in tables.
+	Name() string
+	// Graph returns the underlying communication graph (A, E).
+	Graph() *graph.Graph
+	// Step returns the environment state for the given round. Successive
+	// calls model the environment's own state transitions; implementations
+	// may keep internal state (e.g. mobility positions).
+	Step(round int, rng *rand.Rand) State
+}
+
+// --- Static: the benign environment ---
+
+// Static keeps every edge and agent up forever: the "benign conditions"
+// under which the paper's problems are easy and the algorithms run at full
+// speed.
+type Static struct {
+	g *graph.Graph
+	s State
+}
+
+// NewStatic builds a Static environment over g.
+func NewStatic(g *graph.Graph) *Static { return &Static{g: g, s: AllUp(g)} }
+
+// Name implements Environment.
+func (e *Static) Name() string { return "static" }
+
+// Graph implements Environment.
+func (e *Static) Graph() *graph.Graph { return e.g }
+
+// Step implements Environment.
+func (e *Static) Step(int, *rand.Rand) State { return e.s }
+
+// --- EdgeChurn: independent random link availability ---
+
+// EdgeChurn makes each edge independently available with probability P each
+// round (noise, wireless interference). Agents stay up. P = 1 reduces to
+// Static. Every edge is up with positive probability each round, so each
+// Q_e holds infinitely often with probability 1: assumption (2) is
+// satisfied and the correctness theorem applies — convergence merely slows
+// down as P drops, which experiment E4 measures.
+type EdgeChurn struct {
+	g *graph.Graph
+	// P is the per-round, per-edge availability probability.
+	P float64
+}
+
+// NewEdgeChurn builds an EdgeChurn environment over g.
+func NewEdgeChurn(g *graph.Graph, p float64) *EdgeChurn { return &EdgeChurn{g: g, P: p} }
+
+// Name implements Environment.
+func (e *EdgeChurn) Name() string { return fmt.Sprintf("edge-churn(p=%.2f)", e.P) }
+
+// Graph implements Environment.
+func (e *EdgeChurn) Graph() *graph.Graph { return e.g }
+
+// Step implements Environment.
+func (e *EdgeChurn) Step(_ int, rng *rand.Rand) State {
+	s := State{EdgeUp: make([]bool, e.g.M()), AgentUp: make([]bool, e.g.N())}
+	for i := range s.EdgeUp {
+		s.EdgeUp[i] = rng.Float64() < e.P
+	}
+	for i := range s.AgentUp {
+		s.AgentUp[i] = true
+	}
+	return s
+}
+
+// --- PowerLoss: agents go down and come back ---
+
+// PowerLoss disables each agent independently with probability P each round
+// (battery exhaustion, duty cycling). A disabled agent takes no steps and
+// keeps its state, exactly as §1.1 prescribes. Edges are up, but an edge is
+// unusable unless both endpoints are up.
+type PowerLoss struct {
+	g *graph.Graph
+	// P is the per-round, per-agent outage probability.
+	P float64
+}
+
+// NewPowerLoss builds a PowerLoss environment over g.
+func NewPowerLoss(g *graph.Graph, p float64) *PowerLoss { return &PowerLoss{g: g, P: p} }
+
+// Name implements Environment.
+func (e *PowerLoss) Name() string { return fmt.Sprintf("power-loss(p=%.2f)", e.P) }
+
+// Graph implements Environment.
+func (e *PowerLoss) Graph() *graph.Graph { return e.g }
+
+// Step implements Environment.
+func (e *PowerLoss) Step(_ int, rng *rand.Rand) State {
+	s := AllUp(e.g)
+	for i := range s.AgentUp {
+		s.AgentUp[i] = rng.Float64() >= e.P
+	}
+	return s
+}
+
+// --- Partitioner: adversarial network splits that heal ---
+
+// Partitioner alternates between a healthy phase (everything up) and a
+// partitioned phase in which the agent set is split into Parts contiguous
+// blocks with every inter-block edge cut. It models the paper's headline
+// scenario: "the set of processes may be partitioned into subsets that
+// cannot communicate with each other". During the partition, each block is
+// a group that must behave as if it were the entire system —
+// self-similarity made observable (experiment E5).
+type Partitioner struct {
+	g *graph.Graph
+	// Parts is the number of blocks during the partitioned phase (≥ 2).
+	Parts int
+	// HealthyRounds and PartitionRounds are the phase lengths.
+	HealthyRounds, PartitionRounds int
+}
+
+// NewPartitioner builds a Partitioner with the given phase structure.
+func NewPartitioner(g *graph.Graph, parts, healthyRounds, partitionRounds int) *Partitioner {
+	if parts < 2 {
+		parts = 2
+	}
+	return &Partitioner{g: g, Parts: parts, HealthyRounds: healthyRounds, PartitionRounds: partitionRounds}
+}
+
+// Name implements Environment.
+func (e *Partitioner) Name() string {
+	return fmt.Sprintf("partitioner(%d parts, %d/%d)", e.Parts, e.HealthyRounds, e.PartitionRounds)
+}
+
+// Graph implements Environment.
+func (e *Partitioner) Graph() *graph.Graph { return e.g }
+
+// Partitioned reports whether the given round falls in a partitioned phase.
+func (e *Partitioner) Partitioned(round int) bool {
+	period := e.HealthyRounds + e.PartitionRounds
+	if period <= 0 {
+		return false
+	}
+	return round%period >= e.HealthyRounds
+}
+
+// Block returns the partition block of agent a during partitioned phases.
+func (e *Partitioner) Block(a int) int {
+	per := (e.g.N() + e.Parts - 1) / e.Parts
+	if per == 0 {
+		return 0
+	}
+	return a / per
+}
+
+// Step implements Environment.
+func (e *Partitioner) Step(round int, _ *rand.Rand) State {
+	s := AllUp(e.g)
+	if !e.Partitioned(round) {
+		return s
+	}
+	for id, edge := range e.g.Edges() {
+		if e.Block(edge.A) != e.Block(edge.B) {
+			s.EdgeUp[id] = false
+		}
+	}
+	return s
+}
+
+// --- Adversary: targeted edge cuts under a fairness budget ---
+
+// Adversary is a stronger opponent: each round it cuts the CutFraction of
+// edges it believes are most useful (those whose endpoints currently have
+// the most distinct states, as reported through a feedback hook), but it is
+// subject to a fairness budget: every edge is forcibly enabled at least
+// once every Window rounds, so the assumption (2) still holds and the
+// correctness theorem still applies. Setting Window ≤ 0 removes the budget
+// and lets the adversary starve edges forever — the configuration used to
+// demonstrate what happens when (2) is violated (experiment E12).
+type Adversary struct {
+	g *graph.Graph
+	// CutFraction in [0,1] is the fraction of edges cut each round.
+	CutFraction float64
+	// Window is the fairness budget; ≤ 0 disables fairness.
+	Window int
+	// Useful scores an edge's current usefulness; higher is more useful to
+	// the agents and hence more attractive to cut. The simulation engine
+	// installs a hook based on live agent states. A nil Useful falls back
+	// to uniform random cuts.
+	Useful func(e graph.Edge) float64
+
+	lastEnabled []int // round at which each edge was last enabled
+}
+
+// NewAdversary builds an Adversary cutting the given fraction of edges with
+// the given fairness window.
+func NewAdversary(g *graph.Graph, cutFraction float64, window int) *Adversary {
+	return &Adversary{g: g, CutFraction: cutFraction, Window: window,
+		lastEnabled: make([]int, g.M())}
+}
+
+// SetUseful installs the usefulness oracle the adversary targets. The
+// simulation engine wires this to live agent state (an edge is useful when
+// its endpoints currently disagree) when Options.AdversaryFeedback is set.
+func (e *Adversary) SetUseful(useful func(graph.Edge) float64) { e.Useful = useful }
+
+// Name implements Environment.
+func (e *Adversary) Name() string {
+	fair := "fair"
+	if e.Window <= 0 {
+		fair = "UNFAIR"
+	}
+	return fmt.Sprintf("adversary(cut=%.2f, %s)", e.CutFraction, fair)
+}
+
+// Graph implements Environment.
+func (e *Adversary) Graph() *graph.Graph { return e.g }
+
+// Step implements Environment.
+func (e *Adversary) Step(round int, rng *rand.Rand) State {
+	s := AllUp(e.g)
+	m := e.g.M()
+	cut := int(math.Round(e.CutFraction * float64(m)))
+	if cut > m {
+		cut = m
+	}
+	// Score edges: adversary cuts the most useful first.
+	type scored struct {
+		id    int
+		score float64
+	}
+	order := make([]scored, m)
+	for id := 0; id < m; id++ {
+		sc := rng.Float64() // tie-break / fallback
+		if e.Useful != nil {
+			sc += 1000 * e.Useful(e.g.Edge(id))
+		}
+		order[id] = scored{id, sc}
+	}
+	// Partial selection of the top `cut` by score.
+	for i := 0; i < cut; i++ {
+		best := i
+		for j := i + 1; j < m; j++ {
+			if order[j].score > order[best].score {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+		s.EdgeUp[order[i].id] = false
+	}
+	// Fairness budget: re-enable any edge starved past the window.
+	if e.Window > 0 {
+		for id := 0; id < m; id++ {
+			if s.EdgeUp[id] {
+				e.lastEnabled[id] = round
+			} else if round-e.lastEnabled[id] >= e.Window {
+				s.EdgeUp[id] = true
+				e.lastEnabled[id] = round
+			}
+		}
+	}
+	return s
+}
+
+// --- Starver: violates (2) on purpose ---
+
+// Starver keeps a fixed set of edges permanently down and everything else
+// permanently up. It violates assumption (2) for the starved edges, and is
+// used to demonstrate the necessity of the environment assumptions: sum
+// over a complete graph minus a starved star around the eventual collector
+// cannot terminate, while min converges via alternate routes (E12).
+type Starver struct {
+	g       *graph.Graph
+	starved map[int]bool
+}
+
+// NewStarver builds a Starver that permanently disables the given edge ids.
+func NewStarver(g *graph.Graph, starvedEdges []int) *Starver {
+	m := make(map[int]bool, len(starvedEdges))
+	for _, id := range starvedEdges {
+		m[id] = true
+	}
+	return &Starver{g: g, starved: m}
+}
+
+// Name implements Environment.
+func (e *Starver) Name() string { return fmt.Sprintf("starver(%d edges)", len(e.starved)) }
+
+// Graph implements Environment.
+func (e *Starver) Graph() *graph.Graph { return e.g }
+
+// Step implements Environment.
+func (e *Starver) Step(int, *rand.Rand) State {
+	s := AllUp(e.g)
+	for id := range e.starved {
+		s.EdgeUp[id] = false
+	}
+	return s
+}
+
+// --- RoundRobin: minimal fairness ---
+
+// RoundRobin enables exactly one edge per round, cycling through the edge
+// list. It is the weakest environment satisfying (2) over the whole graph:
+// every Q_e holds infinitely often, but only one group of two agents can
+// collaborate at a time. It bounds the slow extreme of the adaptivity
+// spectrum in E4/E11.
+type RoundRobin struct {
+	g *graph.Graph
+}
+
+// NewRoundRobin builds a RoundRobin environment over g.
+func NewRoundRobin(g *graph.Graph) *RoundRobin { return &RoundRobin{g: g} }
+
+// Name implements Environment.
+func (e *RoundRobin) Name() string { return "round-robin(1 edge/round)" }
+
+// Graph implements Environment.
+func (e *RoundRobin) Graph() *graph.Graph { return e.g }
+
+// Step implements Environment.
+func (e *RoundRobin) Step(round int, _ *rand.Rand) State {
+	s := State{EdgeUp: make([]bool, e.g.M()), AgentUp: make([]bool, e.g.N())}
+	for i := range s.AgentUp {
+		s.AgentUp[i] = true
+	}
+	if e.g.M() > 0 {
+		s.EdgeUp[round%e.g.M()] = true
+	}
+	return s
+}
+
+// --- Mobile: random-waypoint mobility over a geometric graph ---
+
+// Mobile models the paper's mobile-agent motivation: agents move in the
+// unit square (random-waypoint) and can communicate exactly when within
+// Radius of each other. The underlying graph must be complete — edges
+// correspond to agent pairs — and availability is derived from positions,
+// so connectivity waxes and wanes as agents travel.
+type Mobile struct {
+	g      *graph.Graph
+	Radius float64
+	Speed  float64
+
+	pos    [][2]float64
+	dst    [][2]float64
+	inited bool
+}
+
+// NewMobile builds a Mobile environment over the complete graph g (one edge
+// per agent pair).
+func NewMobile(g *graph.Graph, radius, speed float64) (*Mobile, error) {
+	if g.M() != g.N()*(g.N()-1)/2 {
+		return nil, fmt.Errorf("env: Mobile requires the complete graph, got %s with %d edges", g.Name(), g.M())
+	}
+	return &Mobile{g: g, Radius: radius, Speed: speed}, nil
+}
+
+// Name implements Environment.
+func (e *Mobile) Name() string {
+	return fmt.Sprintf("mobile(r=%.2f, v=%.3f)", e.Radius, e.Speed)
+}
+
+// Graph implements Environment.
+func (e *Mobile) Graph() *graph.Graph { return e.g }
+
+// Positions returns a copy of the current agent positions (for examples
+// that visualize the run). Before the first Step it returns nil.
+func (e *Mobile) Positions() [][2]float64 {
+	if !e.inited {
+		return nil
+	}
+	out := make([][2]float64, len(e.pos))
+	copy(out, e.pos)
+	return out
+}
+
+// Step implements Environment.
+func (e *Mobile) Step(_ int, rng *rand.Rand) State {
+	n := e.g.N()
+	if !e.inited {
+		e.pos = graph.GeometricPositions(n, rng)
+		e.dst = graph.GeometricPositions(n, rng)
+		e.inited = true
+	}
+	// Move every agent toward its waypoint; pick a new one on arrival.
+	for i := 0; i < n; i++ {
+		dx := e.dst[i][0] - e.pos[i][0]
+		dy := e.dst[i][1] - e.pos[i][1]
+		d := math.Hypot(dx, dy)
+		if d <= e.Speed {
+			e.pos[i] = e.dst[i]
+			e.dst[i] = [2]float64{rng.Float64(), rng.Float64()}
+			continue
+		}
+		e.pos[i][0] += dx / d * e.Speed
+		e.pos[i][1] += dy / d * e.Speed
+	}
+	s := AllUp(e.g)
+	for id, edge := range e.g.Edges() {
+		dx := e.pos[edge.A][0] - e.pos[edge.B][0]
+		dy := e.pos[edge.A][1] - e.pos[edge.B][1]
+		s.EdgeUp[id] = math.Hypot(dx, dy) <= e.Radius
+	}
+	return s
+}
+
+// --- FairnessProbe: empirical check of assumption (2) ---
+
+// FairnessProbe observes the sequence of environment states and reports,
+// per edge, how often Q_e held. It turns the paper's environment
+// assumption (2) into a measurable quantity: a run over which some edge
+// never (or too rarely) came up is outside the theorem's hypotheses, and
+// experiments report it as such.
+type FairnessProbe struct {
+	rounds int
+	upFor  []int
+	lastUp []int
+	maxGap []int
+}
+
+// NewFairnessProbe builds a probe for a graph with m edges.
+func NewFairnessProbe(m int) *FairnessProbe {
+	return &FairnessProbe{upFor: make([]int, m), lastUp: make([]int, m), maxGap: make([]int, m)}
+}
+
+// Observe records one environment state.
+func (p *FairnessProbe) Observe(s State) {
+	p.rounds++
+	for id, up := range s.EdgeUp {
+		if up {
+			if gap := p.rounds - p.lastUp[id]; gap > p.maxGap[id] {
+				p.maxGap[id] = gap
+			}
+			p.lastUp[id] = p.rounds
+			p.upFor[id]++
+		}
+	}
+	// Edges that have never been up carry an implicit growing gap.
+	for id := range p.lastUp {
+		if gap := p.rounds - p.lastUp[id]; gap > p.maxGap[id] {
+			p.maxGap[id] = gap
+		}
+	}
+}
+
+// Rounds returns how many states were observed.
+func (p *FairnessProbe) Rounds() int { return p.rounds }
+
+// UpFraction returns the fraction of observed rounds in which edge id was
+// available.
+func (p *FairnessProbe) UpFraction(id int) float64 {
+	if p.rounds == 0 {
+		return 0
+	}
+	return float64(p.upFor[id]) / float64(p.rounds)
+}
+
+// MaxGap returns the longest observed stretch of rounds during which edge
+// id was unavailable.
+func (p *FairnessProbe) MaxGap(id int) int { return p.maxGap[id] }
+
+// Starved returns the ids of edges that were never available — witnesses
+// that the run violated assumption (2) for those Q_e.
+func (p *FairnessProbe) Starved() []int {
+	var out []int
+	for id, n := range p.upFor {
+		if n == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}

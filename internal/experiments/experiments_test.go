@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllShapesHold runs every experiment at quick scale and asserts the
+// paper's qualitative shape is observed — the headline integration test
+// of the reproduction.
+func TestAllShapesHold(t *testing.T) {
+	for _, sec := range All(QuickConfig()) {
+		sec := sec
+		t.Run(sec.ID, func(t *testing.T) {
+			if !sec.ShapeHolds {
+				t.Errorf("%s (%s): shape does not hold\n%s", sec.ID, sec.Title, sec.Body)
+			}
+			if sec.Body == "" || sec.Claim == "" || sec.Title == "" {
+				t.Errorf("%s: incomplete section", sec.ID)
+			}
+		})
+	}
+}
+
+func TestE1MentionsDiscrepancy(t *testing.T) {
+	sec := E1Fig1(QuickConfig())
+	if !strings.Contains(sec.Body, "do not match") {
+		t.Error("E1 must document the printed-h discrepancy")
+	}
+	if !strings.Contains(sec.Body, "YES") {
+		t.Error("E1 must exhibit a violation at n=5")
+	}
+}
+
+func TestE9TableComplete(t *testing.T) {
+	sec := E9Classification(QuickConfig())
+	for _, fn := range []string{"min", "sum", "second smallest", "sort", "circumscribing circle", "convex hull", "min-pair", "gcd"} {
+		if !strings.Contains(sec.Body, fn) {
+			t.Errorf("classification table missing %q", fn)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	if DefaultConfig().Seeds <= QuickConfig().Seeds {
+		t.Error("default config should use more seeds than quick")
+	}
+}

@@ -1,0 +1,73 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz harnesses: robustness of the geometric substrate against arbitrary
+// coordinates. Run with `go test -fuzz=FuzzConvexHull ./internal/geom`;
+// in normal test runs only the seed corpus executes.
+
+func fuzzPoints(vals []float64) []Point {
+	pts := make([]Point, 0, len(vals)/2)
+	for i := 0; i+1 < len(vals); i += 2 {
+		x, y := vals[i], vals[i+1]
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil
+		}
+		if math.Abs(x) > 1e9 || math.Abs(y) > 1e9 {
+			return nil
+		}
+		pts = append(pts, Point{x, y})
+	}
+	return pts
+}
+
+func FuzzConvexHull(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0)
+	f.Add(-5.0, 3.0, 7.0, -2.0, 0.1, 0.2, -0.3, 0.4)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3, x4, y4 float64) {
+		pts := fuzzPoints([]float64{x1, y1, x2, y2, x3, y3, x4, y4})
+		if pts == nil {
+			t.Skip()
+		}
+		h := ConvexHull(pts)
+		if len(h) > len(pts) {
+			t.Fatalf("hull larger than input: %d > %d", len(h), len(pts))
+		}
+		for _, p := range pts {
+			if !ContainsPoint(h, p, 1e-6*(1+math.Abs(p.X)+math.Abs(p.Y))) {
+				t.Fatalf("hull %v does not contain input %v", h, p)
+			}
+		}
+		// Idempotence.
+		if !SamePointSet(ConvexHull(h), h, 1e-9) {
+			t.Fatalf("hull not idempotent: %v", h)
+		}
+	})
+}
+
+func FuzzEnclosingCircle(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 0.0, 1.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(1.0, 0.0, 2.0, 0.0, 3.0, 0.0)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3 float64) {
+		pts := fuzzPoints([]float64{x1, y1, x2, y2, x3, y3})
+		if pts == nil {
+			t.Skip()
+		}
+		c := EnclosingCircle(pts)
+		scale := 1.0
+		for _, p := range pts {
+			scale = math.Max(scale, math.Abs(p.X)+math.Abs(p.Y))
+		}
+		for _, p := range pts {
+			if c.C.Dist(p) > c.R+1e-6*scale {
+				t.Fatalf("point %v outside circle %v", p, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,417 @@
+// Package geom is the computational-geometry substrate for the paper's
+// §4.5 "Circumscribing Circle" example.
+//
+// The example needs: points in the plane, convex hulls (the
+// super-idempotent generalization, Fig. 3), hull perimeters (the variant
+// function h(S) = |A|·P − Σ perimeter(V_a)), the smallest enclosing circle
+// of a point set (to recover the circumscribing circle from the hull), and
+// the smallest circle containing a set of *circles* (the naive f whose
+// failure of super-idempotence is Fig. 2).
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the default geometric tolerance used by approximate comparisons.
+const Eps = 1e-9
+
+// Point is a point in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// String renders the point as (x, y) with compact precision.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// Sub returns p − q as a vector.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Near reports whether p and q coincide within tolerance eps.
+func (p Point) Near(q Point, eps float64) bool { return p.Dist(q) <= eps }
+
+// Cross returns the z-component of (b−a) × (c−a): positive when a→b→c is a
+// counter-clockwise turn, negative when clockwise, zero when collinear.
+func Cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// ComparePoints orders points lexicographically by (X, Y). It is the
+// canonical order used wherever point sets are stored in multisets.
+func ComparePoints(a, b Point) int {
+	switch {
+	case a.X < b.X:
+		return -1
+	case a.X > b.X:
+		return 1
+	case a.Y < b.Y:
+		return -1
+	case a.Y > b.Y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order
+// starting from the lexicographically smallest vertex, with collinear
+// interior points removed (Andrew's monotone chain). The input is not
+// mutated. Degenerate inputs are handled: 0, 1 and 2 points return copies,
+// and fully collinear inputs return the two extreme points.
+func ConvexHull(pts []Point) []Point {
+	n := len(pts)
+	sorted := make([]Point, n)
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return ComparePoints(sorted[i], sorted[j]) < 0 })
+	// Dedupe coincident points so the hull walk is well defined.
+	uniq := sorted[:0]
+	for i, p := range sorted {
+		if i == 0 || ComparePoints(p, uniq[len(uniq)-1]) != 0 {
+			uniq = append(uniq, p)
+		}
+	}
+	sorted = uniq
+	n = len(sorted)
+	if n <= 2 {
+		out := make([]Point, n)
+		copy(out, sorted)
+		return out
+	}
+	hull := make([]Point, 0, 2*n)
+	// Lower hull.
+	for _, p := range sorted {
+		for len(hull) >= 2 && Cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := sorted[i]
+		for len(hull) >= lower && Cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1] // last point repeats the first
+}
+
+// Perimeter returns the perimeter of the closed polygon with the given
+// vertices (in order). One point has perimeter 0; two points count the
+// segment twice (out and back), which keeps the hull-merge variant strictly
+// monotone as degenerate hulls grow.
+func Perimeter(poly []Point) float64 {
+	n := len(poly)
+	switch n {
+	case 0, 1:
+		return 0
+	case 2:
+		return 2 * poly[0].Dist(poly[1])
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += poly[i].Dist(poly[(i+1)%n])
+	}
+	return total
+}
+
+// ContainsPoint reports whether p lies inside or on the convex polygon poly
+// (CCW order), within tolerance eps.
+func ContainsPoint(poly []Point, p Point, eps float64) bool {
+	n := len(poly)
+	switch n {
+	case 0:
+		return false
+	case 1:
+		return poly[0].Near(p, eps)
+	case 2:
+		// On-segment test.
+		d := poly[0].Dist(p) + p.Dist(poly[1]) - poly[0].Dist(poly[1])
+		return math.Abs(d) <= eps
+	}
+	for i := 0; i < n; i++ {
+		if Cross(poly[i], poly[(i+1)%n], p) < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+// SamePointSet reports whether a and b contain the same points as sets,
+// within tolerance eps (order- and multiplicity-insensitive for hulls,
+// whose vertices are distinct).
+func SamePointSet(a, b []Point, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, p := range a {
+		for j, q := range b {
+			if !used[j] && p.Near(q, eps) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Circle is a circle given by center and radius.
+type Circle struct {
+	C Point
+	R float64
+}
+
+// String renders the circle as center@radius.
+func (c Circle) String() string { return fmt.Sprintf("⊙%v r=%.4g", c.C, c.R) }
+
+// ContainsCircle reports whether c contains the circle d entirely (within
+// tolerance eps): |c.C − d.C| + d.R ≤ c.R + eps.
+func (c Circle) ContainsCircle(d Circle, eps float64) bool {
+	return c.C.Dist(d.C)+d.R <= c.R+eps
+}
+
+// Near reports whether two circles coincide within tolerance eps.
+func (c Circle) Near(d Circle, eps float64) bool {
+	return c.C.Near(d.C, eps) && math.Abs(c.R-d.R) <= eps
+}
+
+func circleFrom2(a, b Point) Circle {
+	center := Point{(a.X + b.X) / 2, (a.Y + b.Y) / 2}
+	return Circle{center, center.Dist(a)}
+}
+
+func circleFrom3(a, b, c Point) (Circle, bool) {
+	// Circumcircle via perpendicular-bisector intersection.
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	if math.Abs(d) < 1e-12 {
+		return Circle{}, false // collinear
+	}
+	ax2 := a.X*a.X + a.Y*a.Y
+	bx2 := b.X*b.X + b.Y*b.Y
+	cx2 := c.X*c.X + c.Y*c.Y
+	ux := (ax2*(b.Y-c.Y) + bx2*(c.Y-a.Y) + cx2*(a.Y-b.Y)) / d
+	uy := (ax2*(c.X-b.X) + bx2*(a.X-c.X) + cx2*(b.X-a.X)) / d
+	center := Point{ux, uy}
+	return Circle{center, center.Dist(a)}, true
+}
+
+func inCircle(c Circle, p Point) bool { return c.C.Dist(p) <= c.R+Eps }
+
+// EnclosingCircle returns the smallest circle containing all the points
+// (Welzl's algorithm, iterative move-to-front form, expected linear time).
+// This is the paper's "circumscribing circle": the unique circle of
+// smallest area with all points on or inside it. An empty input yields the
+// zero Circle.
+func EnclosingCircle(pts []Point) Circle {
+	if len(pts) == 0 {
+		return Circle{}
+	}
+	// Work on a copy; the move-to-front heuristic permutes it.
+	ps := make([]Point, len(pts))
+	copy(ps, pts)
+	c := Circle{ps[0], 0}
+	for i := 1; i < len(ps); i++ {
+		if inCircle(c, ps[i]) {
+			continue
+		}
+		c = Circle{ps[i], 0}
+		for j := 0; j < i; j++ {
+			if inCircle(c, ps[j]) {
+				continue
+			}
+			c = circleFrom2(ps[i], ps[j])
+			for k := 0; k < j; k++ {
+				if inCircle(c, ps[k]) {
+					continue
+				}
+				if cc, ok := circleFrom3(ps[i], ps[j], ps[k]); ok {
+					c = cc
+				} else {
+					// Collinear triple: the two farthest-apart points
+					// define the circle.
+					c = widestPairCircle(ps[i], ps[j], ps[k])
+				}
+			}
+		}
+	}
+	return c
+}
+
+func widestPairCircle(a, b, c Point) Circle {
+	best := circleFrom2(a, b)
+	if cc := circleFrom2(a, c); cc.R > best.R {
+		best = cc
+	}
+	if cc := circleFrom2(b, c); cc.R > best.R {
+		best = cc
+	}
+	return best
+}
+
+// EnclosingCircleOfCircles returns the smallest circle that contains every
+// circle in the input (the "miniball of balls" in the plane).
+//
+// This primitive exists to make the paper's Fig. 2 executable: the naive
+// "circumscribing circle of current estimates" function f is defined in
+// terms of it, and the figure's point is that f is *not* super-idempotent.
+// The paper's recommended algorithm (convex hulls, Fig. 3) never calls it.
+//
+// Smallest-enclosing-ball-of-balls is an LP-type problem with combinatorial
+// dimension 3 in the plane, so the Welzl move-to-front scheme applies
+// unchanged; only the basis computations differ from the point case:
+// the 2-circle basis is the analytic span, and the 3-circle basis solves
+// the internal-tangency (Apollonius) system |c − C_i| = R − R_i.
+func EnclosingCircleOfCircles(circles []Circle) Circle {
+	switch len(circles) {
+	case 0:
+		return Circle{}
+	case 1:
+		return circles[0]
+	}
+	cs := make([]Circle, len(circles))
+	copy(cs, circles)
+	enc := cs[0]
+	for i := 1; i < len(cs); i++ {
+		if enc.ContainsCircle(cs[i], Eps) {
+			continue
+		}
+		enc = cs[i]
+		for j := 0; j < i; j++ {
+			if enc.ContainsCircle(cs[j], Eps) {
+				continue
+			}
+			enc = ballOf2(cs[i], cs[j])
+			for k := 0; k < j; k++ {
+				if enc.ContainsCircle(cs[k], Eps) {
+					continue
+				}
+				enc = ballOf3(cs[i], cs[j], cs[k])
+			}
+		}
+	}
+	return enc
+}
+
+// ballOf2 returns the smallest circle containing both a and b: the larger
+// one if it already contains the other, otherwise the circle spanning them
+// along the line of centers.
+func ballOf2(a, b Circle) Circle {
+	if a.ContainsCircle(b, 0) {
+		return a
+	}
+	if b.ContainsCircle(a, 0) {
+		return b
+	}
+	d := a.C.Dist(b.C)
+	r := (d + a.R + b.R) / 2
+	// Center sits at distance r − a.R from a's center toward b's center.
+	t := (r - a.R) / d
+	return Circle{a.C.Add(b.C.Sub(a.C).Scale(t)), r}
+}
+
+// ballOf3 returns the smallest circle containing the three circles, given
+// that no two-circle span of any pair contains all three (the Welzl
+// invariant when it is called). It solves the internal-tangency system
+// |c − C_i| = R − R_i, which after subtracting pairs is linear in c with R
+// as a parameter, then quadratic in R. Degenerate (collinear-center) cases
+// fall back to the best pairwise candidate.
+func ballOf3(a, b, c Circle) Circle {
+	// Reduce containment among the three first.
+	for _, pair := range [][2]Circle{{a, b}, {a, c}, {b, c}} {
+		if pair[0].ContainsCircle(pair[1], 0) || pair[1].ContainsCircle(pair[0], 0) {
+			// One of the three is redundant; take the best pairwise ball
+			// that covers all three.
+			return bestPairwiseBall(a, b, c)
+		}
+	}
+	// Linear system from tangency differences (i=a vs b, a vs c):
+	//   2(C_j − C_i)·c = (|C_j|² − |C_i|² − R_j² + R_i²) + 2R(R_j − R_i)
+	a11 := 2 * (b.C.X - a.C.X)
+	a12 := 2 * (b.C.Y - a.C.Y)
+	a21 := 2 * (c.C.X - a.C.X)
+	a22 := 2 * (c.C.Y - a.C.Y)
+	sq := func(p Point) float64 { return p.X*p.X + p.Y*p.Y }
+	u1 := sq(b.C) - sq(a.C) - b.R*b.R + a.R*a.R
+	u2 := sq(c.C) - sq(a.C) - c.R*c.R + a.R*a.R
+	v1 := 2 * (b.R - a.R)
+	v2 := 2 * (c.R - a.R)
+	det := a11*a22 - a12*a21
+	if math.Abs(det) < 1e-12 {
+		return bestPairwiseBall(a, b, c)
+	}
+	// c = p + q·R componentwise.
+	px := (u1*a22 - u2*a12) / det
+	py := (a11*u2 - a21*u1) / det
+	qx := (v1*a22 - v2*a12) / det
+	qy := (a11*v2 - a21*v1) / det
+	// Substitute into |c − C_a|² = (R − R_a)²:
+	dx, dy := px-a.C.X, py-a.C.Y
+	qa := qx*qx + qy*qy - 1
+	qb := 2 * (dx*qx + dy*qy + a.R)
+	qc := dx*dx + dy*dy - a.R*a.R
+	minR := math.Max(a.R, math.Max(b.R, c.R))
+	best := Circle{R: math.Inf(1)}
+	consider := func(r float64) {
+		if math.IsNaN(r) || r < minR-Eps {
+			return
+		}
+		cand := Circle{Point{px + qx*r, py + qy*r}, r}
+		if cand.ContainsCircle(a, 1e-7) && cand.ContainsCircle(b, 1e-7) &&
+			cand.ContainsCircle(c, 1e-7) && cand.R < best.R {
+			best = cand
+		}
+	}
+	if math.Abs(qa) < 1e-12 {
+		if math.Abs(qb) > 1e-12 {
+			consider(-qc / qb)
+		}
+	} else {
+		disc := qb*qb - 4*qa*qc
+		if disc >= 0 {
+			s := math.Sqrt(disc)
+			consider((-qb + s) / (2 * qa))
+			consider((-qb - s) / (2 * qa))
+		}
+	}
+	if !math.IsInf(best.R, 1) {
+		return best
+	}
+	return bestPairwiseBall(a, b, c)
+}
+
+// bestPairwiseBall returns the smallest two-circle span among the pairs of
+// {a, b, c} that contains the remaining circle.
+func bestPairwiseBall(a, b, c Circle) Circle {
+	best := Circle{R: math.Inf(1)}
+	try := func(x, y, other Circle) {
+		cand := ballOf2(x, y)
+		if cand.ContainsCircle(other, 1e-7) && cand.R < best.R {
+			best = cand
+		}
+	}
+	try(a, b, c)
+	try(a, c, b)
+	try(b, c, a)
+	if math.IsInf(best.R, 1) {
+		// Numerically pathological input; fall back to the span of the two
+		// most distant circles grown to cover the third.
+		cand := ballOf2(ballOf2(a, b), c)
+		return cand
+	}
+	return best
+}

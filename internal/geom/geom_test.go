@@ -1,0 +1,437 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p, q := Point{1, 2}, Point{4, 6}
+	if d := p.Dist(q); math.Abs(d-5) > Eps {
+		t.Errorf("Dist = %g, want 5", d)
+	}
+	if s := p.Add(q); s != (Point{5, 8}) {
+		t.Errorf("Add = %v", s)
+	}
+	if s := q.Sub(p); s != (Point{3, 4}) {
+		t.Errorf("Sub = %v", s)
+	}
+	if s := p.Scale(2); s != (Point{2, 4}) {
+		t.Errorf("Scale = %v", s)
+	}
+	if !p.Near(Point{1 + 1e-12, 2}, Eps) {
+		t.Error("Near too strict")
+	}
+}
+
+func TestCross(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{1, 0}, Point{1, 1}
+	if Cross(a, b, c) <= 0 {
+		t.Error("CCW turn should be positive")
+	}
+	if Cross(a, c, b) >= 0 {
+		t.Error("CW turn should be negative")
+	}
+	if Cross(a, b, Point{2, 0}) != 0 {
+		t.Error("collinear should be zero")
+	}
+}
+
+func TestComparePoints(t *testing.T) {
+	if ComparePoints(Point{1, 2}, Point{1, 2}) != 0 {
+		t.Error("equal points")
+	}
+	if ComparePoints(Point{0, 9}, Point{1, 0}) >= 0 {
+		t.Error("X dominates")
+	}
+	if ComparePoints(Point{1, 0}, Point{1, 1}) >= 0 {
+		t.Error("Y tiebreak")
+	}
+}
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.5, 0.2}}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4: %v", len(h), h)
+	}
+	want := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	if !SamePointSet(h, want, Eps) {
+		t.Errorf("hull = %v", h)
+	}
+	if math.Abs(Perimeter(h)-4) > Eps {
+		t.Errorf("perimeter = %g, want 4", Perimeter(h))
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); len(h) != 0 {
+		t.Errorf("empty hull = %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}}); len(h) != 1 {
+		t.Errorf("singleton hull = %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}, {2, 2}}); len(h) != 2 {
+		t.Errorf("two-point hull = %v", h)
+	}
+	// Duplicates collapse.
+	if h := ConvexHull([]Point{{1, 1}, {1, 1}, {1, 1}}); len(h) != 1 {
+		t.Errorf("duplicate hull = %v", h)
+	}
+	// Collinear points reduce to extremes.
+	h := ConvexHull([]Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	if len(h) != 2 || !SamePointSet(h, []Point{{0, 0}, {3, 3}}, Eps) {
+		t.Errorf("collinear hull = %v", h)
+	}
+}
+
+func TestConvexHullRemovesCollinearBoundary(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {1, 0}, {2, 2}, {0, 2}, {2, 1}}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Errorf("hull with collinear boundary points = %v", h)
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	sq := ConvexHull([]Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}})
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 1}, true},
+		{Point{0, 0}, true}, // vertex
+		{Point{1, 0}, true}, // edge
+		{Point{3, 1}, false},
+		{Point{-0.1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := ContainsPoint(sq, c.p, Eps); got != c.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if ContainsPoint(nil, Point{0, 0}, Eps) {
+		t.Error("empty polygon contains nothing")
+	}
+	if !ContainsPoint([]Point{{1, 1}}, Point{1, 1}, Eps) {
+		t.Error("point-polygon should contain itself")
+	}
+	seg := []Point{{0, 0}, {2, 0}}
+	if !ContainsPoint(seg, Point{1, 0}, Eps) || ContainsPoint(seg, Point{1, 1}, Eps) {
+		t.Error("segment containment wrong")
+	}
+}
+
+func TestPerimeterDegenerate(t *testing.T) {
+	if Perimeter(nil) != 0 || Perimeter([]Point{{1, 2}}) != 0 {
+		t.Error("degenerate perimeters nonzero")
+	}
+	if p := Perimeter([]Point{{0, 0}, {3, 4}}); math.Abs(p-10) > Eps {
+		t.Errorf("segment perimeter = %g, want 10", p)
+	}
+}
+
+func TestEnclosingCircleBasic(t *testing.T) {
+	// Two points: diameter circle.
+	c := EnclosingCircle([]Point{{0, 0}, {2, 0}})
+	if !c.Near(Circle{Point{1, 0}, 1}, 1e-7) {
+		t.Errorf("two-point circle = %v", c)
+	}
+	// Equilateral-ish triangle with known circumcircle.
+	c = EnclosingCircle([]Point{{0, 0}, {2, 0}, {1, 1}})
+	if !inCircle(c, Point{0, 0}) || !inCircle(c, Point{2, 0}) || !inCircle(c, Point{1, 1}) {
+		t.Errorf("triangle circle %v misses a vertex", c)
+	}
+	// Square: circumcircle has radius √2·side/2.
+	c = EnclosingCircle([]Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}})
+	if !c.Near(Circle{Point{1, 1}, math.Sqrt2}, 1e-7) {
+		t.Errorf("square circle = %v", c)
+	}
+	// Interior points do not matter.
+	c2 := EnclosingCircle([]Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}, {0.3, 1.2}})
+	if !c.Near(c2, 1e-7) {
+		t.Errorf("interior points changed circle: %v vs %v", c, c2)
+	}
+}
+
+func TestEnclosingCircleDegenerate(t *testing.T) {
+	if c := EnclosingCircle(nil); c != (Circle{}) {
+		t.Errorf("empty circle = %v", c)
+	}
+	if c := EnclosingCircle([]Point{{3, 4}}); !c.Near(Circle{Point{3, 4}, 0}, Eps) {
+		t.Errorf("singleton circle = %v", c)
+	}
+	// Collinear points.
+	c := EnclosingCircle([]Point{{0, 0}, {1, 0}, {4, 0}, {2, 0}})
+	if !c.Near(Circle{Point{2, 0}, 2}, 1e-7) {
+		t.Errorf("collinear circle = %v", c)
+	}
+	// Duplicated points.
+	c = EnclosingCircle([]Point{{1, 1}, {1, 1}, {3, 1}})
+	if !c.Near(Circle{Point{2, 1}, 1}, 1e-7) {
+		t.Errorf("duplicate circle = %v", c)
+	}
+}
+
+func TestPropEnclosingCircleContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64()*20 - 10, rng.Float64()*20 - 10}
+		}
+		c := EnclosingCircle(pts)
+		for _, p := range pts {
+			if c.C.Dist(p) > c.R+1e-7 {
+				t.Fatalf("trial %d: point %v outside circle %v", trial, p, c)
+			}
+		}
+		// Minimality: at least two points must be (nearly) on the boundary
+		// unless n == 1.
+		if n >= 2 {
+			onBoundary := 0
+			for _, p := range pts {
+				if math.Abs(c.C.Dist(p)-c.R) < 1e-6 {
+					onBoundary++
+				}
+			}
+			if onBoundary < 2 {
+				t.Fatalf("trial %d: circle %v not supported by ≥2 points", trial, c)
+			}
+		}
+	}
+}
+
+func TestPropHullContainsAllPoints(t *testing.T) {
+	f := func(raw []struct{ X, Y int8 }) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		for i, r := range raw {
+			pts[i] = Point{float64(r.X), float64(r.Y)}
+		}
+		h := ConvexHull(pts)
+		for _, p := range pts {
+			if !ContainsPoint(h, p, 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropHullIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		h := ConvexHull(pts)
+		h2 := ConvexHull(h)
+		if !SamePointSet(h, h2, 1e-9) {
+			t.Fatalf("hull not idempotent: %v vs %v", h, h2)
+		}
+	}
+}
+
+func TestEnclosingCircleOfCirclesTwo(t *testing.T) {
+	// Two disjoint circles: the optimum spans them along the center line.
+	a := Circle{Point{0, 0}, 1}
+	b := Circle{Point{10, 0}, 2}
+	c := EnclosingCircleOfCircles([]Circle{a, b})
+	// Span from (-1,0) to (12,0): center (5.5,0), radius 6.5.
+	if !c.Near(Circle{Point{5.5, 0}, 6.5}, 1e-6) {
+		t.Errorf("two-circle enclosure = %v", c)
+	}
+}
+
+func TestEnclosingCircleOfCirclesNested(t *testing.T) {
+	a := Circle{Point{0, 0}, 5}
+	b := Circle{Point{1, 0}, 1} // entirely inside a
+	c := EnclosingCircleOfCircles([]Circle{a, b})
+	if !c.Near(a, 1e-6) {
+		t.Errorf("nested enclosure = %v, want %v", c, a)
+	}
+}
+
+func TestEnclosingCircleOfCirclesDegenerate(t *testing.T) {
+	if c := EnclosingCircleOfCircles(nil); c != (Circle{}) {
+		t.Errorf("empty = %v", c)
+	}
+	a := Circle{Point{2, 3}, 4}
+	if c := EnclosingCircleOfCircles([]Circle{a}); !c.Near(a, Eps) {
+		t.Errorf("singleton = %v", c)
+	}
+}
+
+func TestPropEnclosingCircleOfCirclesContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		cs := make([]Circle, n)
+		for i := range cs {
+			cs[i] = Circle{Point{rng.Float64() * 10, rng.Float64() * 10}, rng.Float64() * 3}
+		}
+		enc := EnclosingCircleOfCircles(cs)
+		for _, ci := range cs {
+			if !enc.ContainsCircle(ci, 1e-5) {
+				t.Fatalf("trial %d: %v not contained in %v", trial, ci, enc)
+			}
+		}
+	}
+}
+
+// Points (radius-0 circles) must agree with Welzl within numerical
+// tolerance — cross-validation of the two solvers.
+func TestEnclosingCircleSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		pts := make([]Point, n)
+		cs := make([]Circle, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 10, rng.Float64() * 10}
+			cs[i] = Circle{pts[i], 0}
+		}
+		exact := EnclosingCircle(pts)
+		numeric := EnclosingCircleOfCircles(cs)
+		if math.Abs(exact.R-numeric.R) > 1e-5 {
+			t.Fatalf("trial %d: radius mismatch exact=%v numeric=%v", trial, exact, numeric)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if (Point{1, 2}).String() == "" {
+		t.Error("Point.String empty")
+	}
+	if (Circle{Point{1, 2}, 3}).String() == "" {
+		t.Error("Circle.String empty")
+	}
+}
+
+func TestSamePointSetMismatches(t *testing.T) {
+	a := []Point{{0, 0}, {1, 1}}
+	if SamePointSet(a, []Point{{0, 0}}, Eps) {
+		t.Error("different sizes compared equal")
+	}
+	if SamePointSet(a, []Point{{0, 0}, {2, 2}}, Eps) {
+		t.Error("different points compared equal")
+	}
+	// Duplicate handling: {p, p} vs {p, q} must not match by reusing p.
+	if SamePointSet([]Point{{0, 0}, {0, 0}}, []Point{{0, 0}, {1, 1}}, Eps) {
+		t.Error("multiplicity ignored")
+	}
+}
+
+func TestWelzlCollinearSupportTriple(t *testing.T) {
+	// Force the collinear-triple branch in Welzl: many collinear points
+	// arranged so three collinear candidates end up as the support set.
+	pts := []Point{{0, 0}, {4, 0}, {2, 0}, {1, 0}, {3, 0}, {2, 1e-12}}
+	c := EnclosingCircle(pts)
+	for _, p := range pts {
+		if c.C.Dist(p) > c.R+1e-7 {
+			t.Fatalf("point %v outside %v", p, c)
+		}
+	}
+	if math.Abs(c.R-2) > 1e-6 {
+		t.Errorf("radius = %g, want 2", c.R)
+	}
+}
+
+func TestBallOf2Containment(t *testing.T) {
+	big := Circle{Point{0, 0}, 5}
+	small := Circle{Point{1, 1}, 1}
+	if got := ballOf2(big, small); !got.Near(big, Eps) {
+		t.Errorf("containing ball = %v, want %v", got, big)
+	}
+	if got := ballOf2(small, big); !got.Near(big, Eps) {
+		t.Errorf("reversed containing ball = %v, want %v", got, big)
+	}
+}
+
+func TestBallOf3ContainmentReduction(t *testing.T) {
+	// One circle contains another: ballOf3 must reduce to a pairwise
+	// ball.
+	a := Circle{Point{0, 0}, 3}
+	b := Circle{Point{0.5, 0}, 1} // inside a
+	c := Circle{Point{10, 0}, 1}
+	got := ballOf3(a, b, c)
+	for _, ci := range []Circle{a, b, c} {
+		if !got.ContainsCircle(ci, 1e-6) {
+			t.Fatalf("%v not contained in %v", ci, got)
+		}
+	}
+	// Optimal: the span of a and c: from (-3,0) to (11,0) → r = 7.
+	if math.Abs(got.R-7) > 1e-6 {
+		t.Errorf("radius = %g, want 7", got.R)
+	}
+}
+
+func TestBallOf3CollinearCenters(t *testing.T) {
+	// Collinear centers (degenerate linear system) fall back to pairwise.
+	a := Circle{Point{0, 0}, 1}
+	b := Circle{Point{5, 0}, 1}
+	c := Circle{Point{10, 0}, 1}
+	got := ballOf3(a, b, c)
+	for _, ci := range []Circle{a, b, c} {
+		if !got.ContainsCircle(ci, 1e-6) {
+			t.Fatalf("%v not contained in %v", ci, got)
+		}
+	}
+	if math.Abs(got.R-6) > 1e-6 { // span (-1,0)..(11,0)
+		t.Errorf("radius = %g, want 6", got.R)
+	}
+}
+
+func TestBallOf3ProperTangency(t *testing.T) {
+	// Symmetric triangle of equal circles: the optimum touches all three.
+	r := 0.5
+	cs := []Circle{
+		{Point{0, 0}, r},
+		{Point{4, 0}, r},
+		{Point{2, 3}, r},
+	}
+	got := ballOf3(cs[0], cs[1], cs[2])
+	for _, ci := range cs {
+		d := got.C.Dist(ci.C) + ci.R
+		if math.Abs(d-got.R) > 1e-6 {
+			t.Errorf("circle %v not tangent: |c−ci|+ri = %g vs R = %g", ci, d, got.R)
+		}
+	}
+}
+
+func TestEnclosingCircleOfCirclesMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(12)
+		cs := make([]Circle, n)
+		for i := range cs {
+			cs[i] = Circle{Point{rng.Float64() * 20, rng.Float64() * 20}, rng.Float64() * 4}
+		}
+		enc := EnclosingCircleOfCircles(cs)
+		support := 0
+		for _, ci := range cs {
+			if !enc.ContainsCircle(ci, 1e-5) {
+				t.Fatalf("trial %d: %v outside %v", trial, ci, enc)
+			}
+			if math.Abs(enc.C.Dist(ci.C)+ci.R-enc.R) < 1e-5 {
+				support++
+			}
+		}
+		// Minimality: the optimum is supported by ≥1 internally tangent
+		// circle (≥2 unless one input circle contains all others).
+		if support == 0 {
+			t.Fatalf("trial %d: unsupported enclosure %v", trial, enc)
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package graph provides the communication graphs (A, E) over which the
+// paper's environment assumptions are stated.
+//
+// §4 of the paper defines the environment-assumption sets Q in terms of a
+// graph whose vertices are agents and whose edges are communication links:
+// Q_e means "edge e exists and is available for communication", and
+// Q_E = {Q_e | e ∈ E}. Different problems need different graphs — any
+// connected graph for minimum and convex hull, a complete graph for sum,
+// a linear graph (in index order) for sorting — so this package supplies
+// the standard families plus connectivity machinery (connected components
+// under an enabled-edge mask) that turns an environment state into the
+// partition π of agents into communicating groups.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Edge is an undirected communication link between two agents, identified
+// by their indices. Invariant: A < B.
+type Edge struct {
+	A, B int
+}
+
+// NewEdge returns the canonical form of the edge {a, b}.
+func NewEdge(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{a, b}
+}
+
+// String renders the edge as "a—b".
+func (e Edge) String() string { return fmt.Sprintf("%d—%d", e.A, e.B) }
+
+// Graph is an undirected graph over agents 0..N-1 with a fixed edge list.
+// Edge indices (positions in Edges) identify edges in enabled-edge masks.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]int // adjacency as edge indices, per vertex
+	name  string
+}
+
+// New builds a graph over n vertices with the given edges. Duplicate and
+// self-loop edges are rejected. Edges are stored in canonical sorted order
+// so edge indices are deterministic for a given edge set.
+func New(name string, n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	canon := make([]Edge, 0, len(edges))
+	seen := make(map[Edge]bool, len(edges))
+	for _, e := range edges {
+		e = NewEdge(e.A, e.B)
+		switch {
+		case e.A == e.B:
+			return nil, fmt.Errorf("graph: self-loop at %d", e.A)
+		case e.A < 0 || e.B >= n:
+			return nil, fmt.Errorf("graph: edge %v out of range [0,%d)", e, n)
+		case seen[e]:
+			return nil, fmt.Errorf("graph: duplicate edge %v", e)
+		}
+		seen[e] = true
+		canon = append(canon, e)
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].A != canon[j].A {
+			return canon[i].A < canon[j].A
+		}
+		return canon[i].B < canon[j].B
+	})
+	g := &Graph{n: n, edges: canon, name: name}
+	g.adj = make([][]int, n)
+	for idx, e := range canon {
+		g.adj[e.A] = append(g.adj[e.A], idx)
+		g.adj[e.B] = append(g.adj[e.B], idx)
+	}
+	return g, nil
+}
+
+// mustNew is used by the standard-family constructors, whose edge lists are
+// correct by construction.
+func mustNew(name string, n int, edges []Edge) *Graph {
+	g, err := New(name, n, edges)
+	if err != nil {
+		panic("graph: internal construction error: " + err.Error())
+	}
+	return g
+}
+
+// Name returns the descriptive name of the graph family instance.
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of vertices (agents).
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns a copy of the edge list; index i in the returned slice is
+// the edge id used by enabled masks.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// EdgeID returns the id of edge {a,b} and whether it exists.
+func (g *Graph) EdgeID(a, b int) (int, bool) {
+	e := NewEdge(a, b)
+	i := sort.Search(len(g.edges), func(i int) bool {
+		if g.edges[i].A != e.A {
+			return g.edges[i].A >= e.A
+		}
+		return g.edges[i].B >= e.B
+	})
+	if i < len(g.edges) && g.edges[i] == e {
+		return i, true
+	}
+	return -1, false
+}
+
+// Neighbors returns the vertices adjacent to v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for _, eid := range g.adj[v] {
+		e := g.edges[eid]
+		if e.A == v {
+			out = append(out, e.B)
+		} else {
+			out = append(out, e.A)
+		}
+	}
+	return out
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Components returns the partition of agents into connected components of
+// the subgraph induced by enabled edges and up agents. This is exactly the
+// paper's partition π: each component is a group B of agents that can
+// execute a collaborative algorithm; down agents form singleton groups
+// that are marked disabled (they "execute no actions and do not change
+// state").
+//
+// edgeUp may be nil (all edges enabled); agentUp may be nil (all agents
+// up). An edge is usable only when both endpoints are up.
+// Each component's member list is sorted; components are ordered by their
+// smallest member, so output is deterministic.
+func (g *Graph) Components(edgeUp, agentUp []bool) [][]int {
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	up := func(v int) bool { return agentUp == nil || agentUp[v] }
+	for id, e := range g.edges {
+		if edgeUp != nil && !edgeUp[id] {
+			continue
+		}
+		if up(e.A) && up(e.B) {
+			union(e.A, e.B)
+		}
+	}
+	groups := make(map[int][]int, g.n)
+	order := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		r := find(v)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], v)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Connected reports whether the graph (with all edges enabled) is a single
+// connected component. The empty graph is connected vacuously; a graph
+// with no edges and ≥2 vertices is not.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	return len(g.Components(nil, nil)) == 1
+}
+
+// Diameter returns the maximum over vertices of shortest-path hop distance,
+// or -1 if the graph is disconnected.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return 0
+	}
+	worst := 0
+	dist := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for src := 0; src < g.n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = queue[:0]
+		queue = append(queue, src)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == -1 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// --- Standard families (§4 uses line, complete, and "any connected") ---
+
+// Line returns the linear graph 0—1—2—…—(n−1): the paper's environment
+// assumption for sorting (§4.4), where each agent communicates with the
+// positions to the left and right of its index.
+func Line(n int) *Graph {
+	edges := make([]Edge, 0, maxInt(0, n-1))
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	return mustNew(fmt.Sprintf("line(%d)", n), n, edges)
+}
+
+// Ring returns the cycle graph over n vertices (n ≥ 3 for a proper cycle;
+// smaller n degrade to line).
+func Ring(n int) *Graph {
+	if n < 3 {
+		g := Line(n)
+		g.name = fmt.Sprintf("ring(%d)", n)
+		return g
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, NewEdge(i, (i+1)%n))
+	}
+	return mustNew(fmt.Sprintf("ring(%d)", n), n, edges)
+}
+
+// Complete returns K_n: the paper's required assumption for the sum
+// problem (§4.2), where any two agents must be able to communicate
+// infinitely often.
+func Complete(n int) *Graph {
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	return mustNew(fmt.Sprintf("complete(%d)", n), n, edges)
+}
+
+// Star returns the star graph with vertex 0 as hub.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, maxInt(0, n-1))
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{0, i})
+	}
+	return mustNew(fmt.Sprintf("star(%d)", n), n, edges)
+}
+
+// Grid returns the rows×cols 4-neighbour mesh.
+func Grid(rows, cols int) *Graph {
+	n := rows * cols
+	edges := make([]Edge, 0, 2*n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return mustNew(fmt.Sprintf("grid(%dx%d)", rows, cols), n, edges)
+}
+
+// ErdosRenyi returns G(n, p) with edges drawn independently with
+// probability p from the given source. It does not guarantee connectivity;
+// callers that need a connected instance should use ConnectedErdosRenyi.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	edges := make([]Edge, 0)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, Edge{i, j})
+			}
+		}
+	}
+	return mustNew(fmt.Sprintf("gnp(%d,%.2f)", n, p), n, edges)
+}
+
+// ConnectedErdosRenyi draws G(n, p) instances until one is connected
+// (retrying with the same source), up to a bounded number of attempts, and
+// falls back to adding a random spanning path when unlucky. The result is
+// always connected.
+func ConnectedErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	for attempt := 0; attempt < 64; attempt++ {
+		g := ErdosRenyi(n, p, rng)
+		if g.Connected() {
+			return g
+		}
+	}
+	// Fall back: overlay a random Hamiltonian path to force connectivity.
+	perm := rng.Perm(n)
+	g := ErdosRenyi(n, p, rng)
+	edges := g.Edges()
+	seen := make(map[Edge]bool, len(edges))
+	for _, e := range edges {
+		seen[e] = true
+	}
+	for i := 0; i+1 < n; i++ {
+		e := NewEdge(perm[i], perm[i+1])
+		if !seen[e] {
+			edges = append(edges, e)
+			seen[e] = true
+		}
+	}
+	return mustNew(fmt.Sprintf("gnp+path(%d,%.2f)", n, p), n, edges)
+}
+
+// GeometricPositions places n points uniformly in the unit square.
+func GeometricPositions(n int, rng *rand.Rand) [][2]float64 {
+	pos := make([][2]float64, n)
+	for i := range pos {
+		pos[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	return pos
+}
+
+// RandomGeometric returns the random geometric graph over the given
+// positions with connection radius r: vertices are adjacent when their
+// Euclidean distance is at most r. This is the natural model for the
+// paper's motivating mobile/wireless agents (§1.1).
+func RandomGeometric(pos [][2]float64, r float64) *Graph {
+	n := len(pos)
+	edges := make([]Edge, 0)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := pos[i][0] - pos[j][0]
+			dy := pos[i][1] - pos[j][1]
+			if math.Hypot(dx, dy) <= r {
+				edges = append(edges, Edge{i, j})
+			}
+		}
+	}
+	return mustNew(fmt.Sprintf("rgg(%d,r=%.2f)", n, r), n, edges)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Hypercube returns the d-dimensional hypercube over 2^d vertices:
+// vertices are adjacent when their indices differ in exactly one bit. A
+// classic low-diameter, low-degree interconnect for scalability
+// experiments.
+func Hypercube(d int) *Graph {
+	n := 1 << uint(d)
+	edges := make([]Edge, 0, d*n/2)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				edges = append(edges, Edge{v, u})
+			}
+		}
+	}
+	return mustNew(fmt.Sprintf("hypercube(%d)", d), n, edges)
+}
+
+// Torus returns the rows×cols wraparound mesh (each vertex has degree 4
+// for rows, cols ≥ 3).
+func Torus(rows, cols int) *Graph {
+	n := rows * cols
+	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	seen := make(map[Edge]bool, 2*n)
+	edges := make([]Edge, 0, 2*n)
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		e := NewEdge(a, b)
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			add(id(r, c), id(r, c+1))
+			add(id(r, c), id(r+1, c))
+		}
+	}
+	return mustNew(fmt.Sprintf("torus(%dx%d)", rows, cols), n, edges)
+}
+
+// BinaryTree returns the complete binary tree over n vertices (vertex 0
+// as root; vertex v's children are 2v+1 and 2v+2). Trees are the worst
+// case for churn: every edge is a cut edge.
+func BinaryTree(n int) *Graph {
+	edges := make([]Edge, 0, maxInt(0, n-1))
+	for v := 1; v < n; v++ {
+		edges = append(edges, NewEdge(v, (v-1)/2))
+	}
+	return mustNew(fmt.Sprintf("btree(%d)", n), n, edges)
+}

@@ -1,0 +1,199 @@
+// Package logic provides linear-time temporal-logic checks over recorded
+// computation traces.
+//
+// The paper specifies dynamic distributed systems with the operators of
+// Manna–Pnueli linear temporal logic: □ (henceforth), ◇ (eventually),
+// □◇ (infinitely often, as in the environment assumption (2)), the derived
+// "stable" and "leads-to" ( ↝ ) operators, and invariants such as the
+// conservation law □(f(S) = S*). A simulator cannot observe an infinite
+// computation, so this package evaluates the finite-trace approximations
+// that are standard for runtime verification:
+//
+//   - safety operators (□, stable, invariants) are checked exactly on the
+//     recorded prefix — a violation on a prefix is a violation, period;
+//   - liveness operators (◇, ↝, □◇) are checked on the prefix and are
+//     meaningful when the system has quiesced: a trace that ends in a
+//     fixpoint state behaves like its infinite stuttering extension, which
+//     is exactly how the paper's specification (3) is discharged by the
+//     simulator (it runs until S = f(S(0)) persists).
+//
+// All checks are pure functions over a Trace[S]; they never mutate it.
+package logic
+
+// Trace is a finite recorded computation: a sequence of observed states.
+type Trace[S any] []S
+
+// Pred is a state predicate.
+type Pred[S any] func(S) bool
+
+// Always reports whether pred holds in every state of the trace (□ pred on
+// the prefix). An empty trace satisfies Always vacuously.
+func Always[S any](tr Trace[S], pred Pred[S]) bool {
+	for _, s := range tr {
+		if !pred(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstViolation returns the index of the first state violating pred, or
+// -1 when pred holds throughout. It is Always with a diagnostic.
+func FirstViolation[S any](tr Trace[S], pred Pred[S]) int {
+	for i, s := range tr {
+		if !pred(s) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eventually reports whether pred holds in some state of the trace (◇ pred
+// on the prefix). An empty trace does not satisfy Eventually.
+func Eventually[S any](tr Trace[S], pred Pred[S]) bool {
+	for _, s := range tr {
+		if pred(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// EventuallyAlways reports ◇□ pred on the prefix: pred holds in some
+// non-empty suffix of the trace. This is the shape of the paper's goal
+// property (3): ◇□(S = f(S(0))).
+func EventuallyAlways[S any](tr Trace[S], pred Pred[S]) bool {
+	// Scan backwards: find the longest suffix on which pred holds.
+	i := len(tr)
+	for i > 0 && pred(tr[i-1]) {
+		i--
+	}
+	return i < len(tr)
+}
+
+// AlwaysEventually reports the finite-trace reading of □◇ pred: pred holds
+// at or after every position, i.e. pred holds in the final state and ...
+// equivalently, pred holds somewhere in every suffix, which for a finite
+// trace reduces to "pred holds in the last state or after every position
+// where it fails there is a later position where it holds".
+func AlwaysEventually[S any](tr Trace[S], pred Pred[S]) bool {
+	if len(tr) == 0 {
+		return true
+	}
+	// □◇p on a finite trace ⇔ p holds at the last index of every suffix's
+	// witness ⇔ p holds at some index ≥ i for all i ⇔ p holds at the final
+	// state OR ... in fact p must hold at the final state: the suffix
+	// consisting of only the last state must contain a witness.
+	return pred(tr[len(tr)-1])
+}
+
+// Stable reports whether pred, once true, remains true for the rest of the
+// trace: □(pred ⇒ □pred). This is the paper's "stable" operator, used in
+// the alternate specification (4): stable (S = f(S)).
+func Stable[S any](tr Trace[S], pred Pred[S]) bool {
+	seen := false
+	for _, s := range tr {
+		p := pred(s)
+		if seen && !p {
+			return false
+		}
+		seen = seen || p
+	}
+	return true
+}
+
+// StableViolation returns the index at which a previously-true pred first
+// becomes false, or -1 when pred is stable on the trace.
+func StableViolation[S any](tr Trace[S], pred Pred[S]) int {
+	seen := false
+	for i, s := range tr {
+		p := pred(s)
+		if seen && !p {
+			return i
+		}
+		seen = seen || p
+	}
+	return -1
+}
+
+// LeadsTo reports the finite-trace reading of p ↝ q: every state satisfying
+// p is followed (at that state or later) by a state satisfying q.
+func LeadsTo[S any](tr Trace[S], p, q Pred[S]) bool {
+	// Walk backwards tracking whether q occurs at or after each index.
+	qLater := false
+	for i := len(tr) - 1; i >= 0; i-- {
+		if q(tr[i]) {
+			qLater = true
+		}
+		if p(tr[i]) && !qLater {
+			return false
+		}
+	}
+	return true
+}
+
+// Monotone reports whether measure is non-increasing along the trace:
+// □(h(next) ≤ h(prev)). It is the runtime check for the variant-function
+// discipline of §3.5 (each agents-step is an improvement or a stutter).
+func Monotone[S any](tr Trace[S], measure func(S) float64) bool {
+	return MonotoneViolation(tr, measure) == -1
+}
+
+// MonotoneViolation returns the first index i > 0 where
+// measure(tr[i]) > measure(tr[i-1]), or -1 when the measure never
+// increases.
+func MonotoneViolation[S any](tr Trace[S], measure func(S) float64) int {
+	for i := 1; i < len(tr); i++ {
+		if measure(tr[i]) > measure(tr[i-1]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// StrictlyDecreasingOnChange reports the paper's improvement discipline:
+// whenever the state changes (per eq), the measure strictly decreases; when
+// the state stutters the measure is unchanged.
+func StrictlyDecreasingOnChange[S any](tr Trace[S], eq func(a, b S) bool, measure func(S) float64) bool {
+	for i := 1; i < len(tr); i++ {
+		if eq(tr[i-1], tr[i]) {
+			continue
+		}
+		if measure(tr[i]) >= measure(tr[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiesced reports whether the trace ends in a run of at least k identical
+// states (per eq). Simulators use it to decide that liveness operators can
+// be read off the finite prefix.
+func Quiesced[S any](tr Trace[S], eq func(a, b S) bool, k int) bool {
+	if k <= 1 {
+		return len(tr) > 0
+	}
+	if len(tr) < k {
+		return false
+	}
+	last := tr[len(tr)-1]
+	for i := len(tr) - k; i < len(tr)-1; i++ {
+		if !eq(tr[i], last) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountSatisfying returns how many states of the trace satisfy pred.
+// Useful for measuring how often an environment predicate Q_e held, i.e.
+// an empirical reading of the assumption □◇Q_e of (2).
+func CountSatisfying[S any](tr Trace[S], pred Pred[S]) int {
+	n := 0
+	for _, s := range tr {
+		if pred(s) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,236 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ints(vals ...int) Trace[int] { return Trace[int](vals) }
+
+func eqInt(a, b int) bool { return a == b }
+
+func TestAlways(t *testing.T) {
+	pos := func(v int) bool { return v > 0 }
+	cases := []struct {
+		name string
+		tr   Trace[int]
+		want bool
+	}{
+		{"all positive", ints(1, 2, 3), true},
+		{"one violation", ints(1, -2, 3), false},
+		{"empty vacuous", ints(), true},
+		{"single ok", ints(5), true},
+		{"single bad", ints(0), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Always(c.tr, pos); got != c.want {
+				t.Errorf("Always = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestFirstViolation(t *testing.T) {
+	pos := func(v int) bool { return v > 0 }
+	if got := FirstViolation(ints(1, 2, -1, -2), pos); got != 2 {
+		t.Errorf("FirstViolation = %d, want 2", got)
+	}
+	if got := FirstViolation(ints(1, 2), pos); got != -1 {
+		t.Errorf("FirstViolation = %d, want -1", got)
+	}
+}
+
+func TestEventually(t *testing.T) {
+	isTen := func(v int) bool { return v == 10 }
+	if !Eventually(ints(1, 5, 10), isTen) {
+		t.Error("Eventually missed witness")
+	}
+	if Eventually(ints(1, 5), isTen) {
+		t.Error("Eventually found phantom witness")
+	}
+	if Eventually(ints(), isTen) {
+		t.Error("Eventually on empty trace")
+	}
+}
+
+func TestEventuallyAlways(t *testing.T) {
+	isZero := func(v int) bool { return v == 0 }
+	if !EventuallyAlways(ints(3, 2, 0, 0, 0), isZero) {
+		t.Error("◇□ missed converged suffix")
+	}
+	if EventuallyAlways(ints(0, 0, 1), isZero) {
+		t.Error("◇□ accepted trace ending false")
+	}
+	if EventuallyAlways(ints(), isZero) {
+		t.Error("◇□ on empty trace")
+	}
+	if !EventuallyAlways(ints(0), isZero) {
+		t.Error("◇□ single converged state")
+	}
+}
+
+func TestAlwaysEventually(t *testing.T) {
+	even := func(v int) bool { return v%2 == 0 }
+	if !AlwaysEventually(ints(1, 2, 3, 4), even) {
+		t.Error("□◇ rejected trace ending in witness")
+	}
+	if AlwaysEventually(ints(2, 4, 3), even) {
+		t.Error("□◇ accepted trace ending without witness")
+	}
+	if !AlwaysEventually(ints(), even) {
+		t.Error("□◇ empty should be vacuous")
+	}
+}
+
+func TestStable(t *testing.T) {
+	done := func(v int) bool { return v >= 10 }
+	if !Stable(ints(1, 5, 10, 11, 12), done) {
+		t.Error("stable rejected monotone trace")
+	}
+	if Stable(ints(1, 10, 5), done) {
+		t.Error("stable accepted regression")
+	}
+	if !Stable(ints(1, 2, 3), done) {
+		t.Error("stable should hold when pred never true")
+	}
+	if !Stable(ints(), done) {
+		t.Error("stable on empty trace")
+	}
+}
+
+func TestStableViolation(t *testing.T) {
+	done := func(v int) bool { return v >= 10 }
+	if got := StableViolation(ints(1, 10, 11, 4, 10), done); got != 3 {
+		t.Errorf("StableViolation = %d, want 3", got)
+	}
+	if got := StableViolation(ints(10, 11), done); got != -1 {
+		t.Errorf("StableViolation = %d, want -1", got)
+	}
+}
+
+func TestLeadsTo(t *testing.T) {
+	p := func(v int) bool { return v == 1 }
+	q := func(v int) bool { return v == 2 }
+	if !LeadsTo(ints(0, 1, 0, 2), p, q) {
+		t.Error("leads-to rejected valid trace")
+	}
+	if LeadsTo(ints(0, 2, 1, 0), p, q) {
+		t.Error("leads-to accepted p with no later q")
+	}
+	// p and q at the same state counts (reflexive ↝).
+	both := func(v int) bool { return v == 3 }
+	if !LeadsTo(ints(0, 3), both, both) {
+		t.Error("leads-to should be reflexive at a state")
+	}
+	if !LeadsTo(ints(), p, q) {
+		t.Error("leads-to on empty trace")
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	id := func(v int) float64 { return float64(v) }
+	if !Monotone(ints(5, 5, 4, 2, 2, 0), id) {
+		t.Error("Monotone rejected non-increasing trace")
+	}
+	if got := MonotoneViolation(ints(5, 4, 6), id); got != 2 {
+		t.Errorf("MonotoneViolation = %d, want 2", got)
+	}
+	if got := MonotoneViolation(ints(), id); got != -1 {
+		t.Errorf("MonotoneViolation empty = %d", got)
+	}
+}
+
+func TestStrictlyDecreasingOnChange(t *testing.T) {
+	id := func(v int) float64 { return float64(v) }
+	if !StrictlyDecreasingOnChange(ints(5, 5, 3, 3, 1), eqInt, id) {
+		t.Error("rejected valid improvement trace")
+	}
+	if StrictlyDecreasingOnChange(ints(5, 6), eqInt, id) {
+		t.Error("accepted increase on change")
+	}
+	// A change with equal measure must be rejected: the paper requires
+	// strict decrease for proper group steps.
+	type st struct{ id, h int }
+	tr := Trace[st]{{0, 5}, {1, 5}}
+	eq := func(a, b st) bool { return a == b }
+	h := func(s st) float64 { return float64(s.h) }
+	if StrictlyDecreasingOnChange(tr, eq, h) {
+		t.Error("accepted state change with unchanged measure")
+	}
+}
+
+func TestQuiesced(t *testing.T) {
+	if !Quiesced(ints(1, 2, 3, 3, 3), eqInt, 3) {
+		t.Error("Quiesced missed settled suffix")
+	}
+	if Quiesced(ints(1, 2, 3, 3), eqInt, 3) {
+		t.Error("Quiesced accepted short suffix")
+	}
+	if Quiesced(ints(3, 3), eqInt, 3) {
+		t.Error("Quiesced accepted too-short trace")
+	}
+	if !Quiesced(ints(9), eqInt, 1) {
+		t.Error("Quiesced k=1 on non-empty trace")
+	}
+	if Quiesced(ints(), eqInt, 1) {
+		t.Error("Quiesced on empty trace")
+	}
+}
+
+func TestCountSatisfying(t *testing.T) {
+	even := func(v int) bool { return v%2 == 0 }
+	if got := CountSatisfying(ints(1, 2, 3, 4, 6), even); got != 3 {
+		t.Errorf("CountSatisfying = %d, want 3", got)
+	}
+}
+
+// --- Properties ---
+
+// ◇□p implies the final state satisfies p.
+func TestPropEventuallyAlwaysImpliesFinal(t *testing.T) {
+	f := func(tr []bool) bool {
+		trace := Trace[bool](tr)
+		p := func(b bool) bool { return b }
+		if EventuallyAlways(trace, p) {
+			return len(tr) > 0 && tr[len(tr)-1]
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// □p implies ◇□p on non-empty traces, and implies stable p.
+func TestPropAlwaysImpliesWeaker(t *testing.T) {
+	f := func(tr []bool) bool {
+		trace := Trace[bool](tr)
+		p := func(b bool) bool { return b }
+		if !Always(trace, p) {
+			return true
+		}
+		if len(tr) > 0 && !EventuallyAlways(trace, p) {
+			return false
+		}
+		return Stable(trace, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Stable(p) and Eventually(p) together imply EventuallyAlways(p).
+func TestPropStablePlusEventually(t *testing.T) {
+	f := func(tr []bool) bool {
+		trace := Trace[bool](tr)
+		p := func(b bool) bool { return b }
+		if Stable(trace, p) && Eventually(trace, p) {
+			return EventuallyAlways(trace, p)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

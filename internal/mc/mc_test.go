@@ -1,0 +1,258 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	ms "repro/internal/multiset"
+	"repro/internal/problems"
+)
+
+func TestExploreMinImplementation(t *testing.T) {
+	// Min with the implemented group step over all pairs of a K3:
+	// obligations must hold.
+	p := problems.NewMin()
+	rep, err := Explore(Spec[int]{
+		Initial: []int{3, 1, 2},
+		Groups:  AllPairs(3),
+		Succ:    ProblemSucc[int](p),
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("obligations failed: %s", rep.Summary())
+	}
+	if rep.GoalStates != 1 {
+		t.Errorf("goal states = %d, want 1", rep.GoalStates)
+	}
+	if rep.States < 3 {
+		t.Errorf("suspiciously few states: %s", rep.Summary())
+	}
+}
+
+func TestExploreMinFullRelation(t *testing.T) {
+	// The FULL relation D for min over a small domain: every f-conserving
+	// h-decreasing assignment. Obligations must hold for the relation
+	// itself, not just our refinement.
+	p := problems.NewMin()
+	domain := []int{0, 1, 2, 3}
+	rep, err := Explore(Spec[int]{
+		Initial: []int{3, 1, 2},
+		Groups:  append(AllPairs(3), WholeGroup(3)...),
+		Succ:    DomainSucc[int](p, domain, 0),
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("obligations failed: %s", rep.Summary())
+	}
+	if rep.Transitions < 10 {
+		t.Errorf("full relation explored too few transitions: %s", rep.Summary())
+	}
+}
+
+func TestExploreSumOnPairs(t *testing.T) {
+	p := problems.NewSum()
+	rep, err := Explore(Spec[int]{
+		Initial: []int{2, 3, 1},
+		Groups:  AllPairs(3),
+		Succ:    ProblemSucc[int](p),
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("obligations failed: %s", rep.Summary())
+	}
+}
+
+// The paper's point about sum and sparse graphs as a model-checking fact:
+// on a line graph with a zero separator, the relation reaches a dead end
+// (a reachable non-goal state that no enabled group can escape).
+func TestExploreSumLineDeadEnd(t *testing.T) {
+	p := problems.NewSum()
+	rep, err := Explore(Spec[int]{
+		Initial: []int{2, 0, 3},
+		Groups:  PathPairs(3), // line: 0–1, 1–2; agent 1 holds 0
+		Succ:    ProblemSucc[int](p),
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DeadEnds) == 0 {
+		t.Fatalf("expected a dead end (zero separator): %s", rep.Summary())
+	}
+	if len(rep.NonDSteps) != 0 || len(rep.UnstableGoals) != 0 {
+		t.Errorf("unexpected violations: %s", rep.Summary())
+	}
+}
+
+func TestExploreMinPairCorrectedVariant(t *testing.T) {
+	p := problems.NewMinPair(3, 6)
+	rep, err := Explore(Spec[problems.Pair]{
+		Initial: problems.InitialPairs([]int{2, 5, 4}),
+		Groups:  append(AllPairs(3), WholeGroup(3)...),
+		Succ:    ProblemSucc[problems.Pair](p),
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("obligations failed: %s", rep.Summary())
+	}
+}
+
+// paperVariantMinPair wraps MinPair but exposes the variant printed in the
+// paper, so the checker can refute it mechanically.
+type paperVariantMinPair struct{ *problems.MinPair }
+
+func (p paperVariantMinPair) H() core.Variant[problems.Pair] { return p.MinPair.PaperH() }
+
+func TestExploreRefutesPaperMinPairVariant(t *testing.T) {
+	p := paperVariantMinPair{problems.NewMinPair(2, 6)}
+	rep, err := Explore(Spec[problems.Pair]{
+		Initial: problems.InitialPairs([]int{2, 5}),
+		Groups:  WholeGroup(2),
+		Succ:    ProblemSucc[problems.Pair](p.MinPair),
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The natural step S0 → f(S0) keeps Σ(x+y) constant: not a D-step
+	// under the printed variant.
+	if len(rep.NonDSteps) == 0 {
+		t.Fatalf("expected the printed §4.3 variant to be refuted: %s", rep.Summary())
+	}
+}
+
+func TestExploreSortingOnLine(t *testing.T) {
+	vals := []int{2, 0, 1}
+	p, err := problems.NewSorting(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(Spec[problems.Item]{
+		Initial: problems.InitialItems(vals),
+		Groups:  PathPairs(3),
+		Succ:    ProblemSucc[problems.Item](p),
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("obligations failed: %s", rep.Summary())
+	}
+}
+
+func TestExploreGCD(t *testing.T) {
+	p := problems.NewGCD()
+	rep, err := Explore(Spec[int]{
+		Initial: []int{4, 6, 10},
+		Groups:  AllPairs(3),
+		Succ:    ProblemSucc[int](p),
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("obligations failed: %s", rep.Summary())
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	p := problems.NewMin()
+	if _, err := Explore(Spec[int]{Initial: []int{1}, Groups: nil, Problem: p}); err == nil {
+		t.Error("missing Succ accepted")
+	}
+	if _, err := Explore(Spec[int]{Succ: ProblemSucc[int](p), Problem: p}); err == nil {
+		t.Error("empty initial accepted")
+	}
+}
+
+func TestExploreTruncation(t *testing.T) {
+	p := problems.NewMin()
+	rep, err := Explore(Spec[int]{
+		Initial:   []int{9, 7, 5, 3},
+		Groups:    AllPairs(4),
+		Succ:      DomainSucc[int](p, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 0),
+		Problem:   p,
+		MaxStates: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Error("expected truncation")
+	}
+	if rep.OK() {
+		t.Error("truncated report claims OK")
+	}
+}
+
+func TestGroupHelpers(t *testing.T) {
+	if len(AllPairs(4)) != 6 {
+		t.Errorf("AllPairs(4) = %d", len(AllPairs(4)))
+	}
+	if len(PathPairs(4)) != 3 {
+		t.Errorf("PathPairs(4) = %d", len(PathPairs(4)))
+	}
+	wg := WholeGroup(3)
+	if len(wg) != 1 || len(wg[0]) != 3 {
+		t.Errorf("WholeGroup(3) = %v", wg)
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	rep := &Report{States: 5, Transitions: 4, GoalStates: 1}
+	if !strings.Contains(rep.Summary(), "states=5") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+	if !rep.OK() {
+		t.Error("clean report not OK")
+	}
+}
+
+func TestUnstableGoalDetection(t *testing.T) {
+	// Construct successors that move AWAY from a goal state: start at the
+	// converged state and offer a transition that changes it while faking
+	// f conservation failure — the checker must flag it as non-D and as
+	// an unstable goal.
+	p := problems.NewMin()
+	rep, err := Explore(Spec[int]{
+		Initial: []int{1, 1},
+		Groups:  AllPairs(2),
+		Succ: func(states []int) [][]int {
+			return [][]int{{2, 2}} // escapes the goal
+		},
+		Problem: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.UnstableGoals) == 0 {
+		t.Errorf("unstable goal not detected: %s", rep.Summary())
+	}
+	if len(rep.NonDSteps) == 0 {
+		t.Errorf("goal-escaping step not flagged as non-D: %s", rep.Summary())
+	}
+}
+
+// Sanity: multiset equality of pairs used by the checker is exact.
+func TestPairEncoding(t *testing.T) {
+	a := ms.New(problems.ComparePairs, problems.Pair{X: 1, Y: 2})
+	b := ms.New(problems.ComparePairs, problems.Pair{X: 1, Y: 2})
+	if !a.Equal(b) {
+		t.Error("pair multisets unequal")
+	}
+}

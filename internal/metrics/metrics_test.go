@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Error("empty sample stats nonzero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 1e-12 {
+		t.Errorf("std = %g, want 2", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSampleAddInt(t *testing.T) {
+	var s Sample
+	s.AddInt(3)
+	s.AddInt(5)
+	if s.Mean() != 4 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 50}, {100, 100}, {90, 90}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	var single Sample
+	single.Add(7)
+	if single.Median() != 7 {
+		t.Errorf("median of singleton = %g", single.Median())
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+			s.Add(v)
+		}
+		pp := math.Mod(math.Abs(p), 100)
+		got := s.Percentile(pp)
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "rounds")
+	tb.AddRow("min", "12")
+	tb.AddRowf("sum", 34.0)
+	tb.AddRow("short") // padded
+	out := tb.String()
+	if !strings.Contains(out, "| name") || !strings.Contains(out, "| min") {
+		t.Errorf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + sep + 3 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// All lines equal width (fixed-width rendering).
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(l) != w {
+			t.Errorf("line %d width %d != %d:\n%s", i, len(l), w, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"}, {3.14159, "3.14"}, {0.001234, "0.00123"}, {100, "100"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

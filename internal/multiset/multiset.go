@@ -1,0 +1,248 @@
+// Package multiset implements the finite multisets ("bags") over which the
+// paper's distributed functions f operate.
+//
+// In "Self-Similar Algorithms for Dynamic Distributed Systems" (Chandy &
+// Charpentier, ICDCS 2007) the state of a group B of agents is the multiset
+// S_B = {Sa | a ∈ B} of the states of its members, and the union of the
+// states of disjoint groups is multiset union: S_{B∪C} = S_B ∪ S_C. All of
+// the paper's machinery — super-idempotent functions, the conservation law,
+// variant functions in summation form — is stated in terms of multisets, so
+// this package is the foundation of everything else in the repository.
+//
+// A Multiset[T] is an immutable, canonically sorted bag of values of an
+// arbitrary element type T. Because agent states range from plain integers
+// to (index, value) pairs and convex-hull point sets, the element type is
+// not required to be comparable in the Go sense; instead every multiset
+// carries a total-order comparison function, which makes equality,
+// canonical printing, and deterministic iteration possible for any T.
+package multiset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cmp is a three-way comparison over element type T. It must define a total
+// order: negative when a < b, zero when a == b, positive when a > b.
+// Multiset equality is defined as "cmp reports zero elementwise on the
+// canonical sorted forms", so cmp also decides which values are identical.
+type Cmp[T any] func(a, b T) int
+
+// Multiset is an immutable bag of values of type T, held in canonical
+// (sorted) order. The zero value is an empty multiset with a nil comparison
+// function; it is usable with Len, Elements and Union against another
+// multiset that supplies a comparison function, but New should normally be
+// used so the order is explicit.
+type Multiset[T any] struct {
+	cmp   Cmp[T]
+	elems []T // sorted by cmp; never aliased to caller-visible memory
+}
+
+// New builds a multiset from the given elements using cmp as the total
+// order. The input slice is copied; the caller may reuse it afterwards.
+func New[T any](cmp Cmp[T], elems ...T) Multiset[T] {
+	own := make([]T, len(elems))
+	copy(own, elems)
+	sort.SliceStable(own, func(i, j int) bool { return cmp(own[i], own[j]) < 0 })
+	return Multiset[T]{cmp: cmp, elems: own}
+}
+
+// FromSorted builds a multiset from a slice that is already sorted by cmp.
+// It copies the slice. It panics if the slice is not sorted, since a
+// non-canonical multiset would silently break equality everywhere else.
+func FromSorted[T any](cmp Cmp[T], sorted []T) Multiset[T] {
+	for i := 1; i < len(sorted); i++ {
+		if cmp(sorted[i-1], sorted[i]) > 0 {
+			panic("multiset.FromSorted: input not sorted")
+		}
+	}
+	own := make([]T, len(sorted))
+	copy(own, sorted)
+	return Multiset[T]{cmp: cmp, elems: own}
+}
+
+// Len reports the cardinality of the multiset (counting multiplicity).
+func (m Multiset[T]) Len() int { return len(m.elems) }
+
+// IsEmpty reports whether the multiset has no elements.
+func (m Multiset[T]) IsEmpty() bool { return len(m.elems) == 0 }
+
+// Cmp returns the comparison function the multiset was built with.
+func (m Multiset[T]) Cmp() Cmp[T] { return m.cmp }
+
+// At returns the i-th element in canonical (sorted) order.
+func (m Multiset[T]) At(i int) T { return m.elems[i] }
+
+// Elements returns a copy of the elements in canonical order. Mutating the
+// returned slice does not affect the multiset.
+func (m Multiset[T]) Elements() []T {
+	out := make([]T, len(m.elems))
+	copy(out, m.elems)
+	return out
+}
+
+// Min returns the least element under the multiset's order. The boolean is
+// false when the multiset is empty.
+func (m Multiset[T]) Min() (T, bool) {
+	if len(m.elems) == 0 {
+		var zero T
+		return zero, false
+	}
+	return m.elems[0], true
+}
+
+// Max returns the greatest element under the multiset's order. The boolean
+// is false when the multiset is empty.
+func (m Multiset[T]) Max() (T, bool) {
+	if len(m.elems) == 0 {
+		var zero T
+		return zero, false
+	}
+	return m.elems[len(m.elems)-1], true
+}
+
+// Count reports how many elements compare equal to v.
+func (m Multiset[T]) Count(v T) int {
+	lo := sort.Search(len(m.elems), func(i int) bool { return m.cmp(m.elems[i], v) >= 0 })
+	hi := sort.Search(len(m.elems), func(i int) bool { return m.cmp(m.elems[i], v) > 0 })
+	return hi - lo
+}
+
+// Contains reports whether at least one element compares equal to v.
+func (m Multiset[T]) Contains(v T) bool { return m.Count(v) > 0 }
+
+// Add returns a new multiset with v added (multiplicity increases by one).
+func (m Multiset[T]) Add(v T) Multiset[T] {
+	out := make([]T, 0, len(m.elems)+1)
+	i := sort.Search(len(m.elems), func(i int) bool { return m.cmp(m.elems[i], v) > 0 })
+	out = append(out, m.elems[:i]...)
+	out = append(out, v)
+	out = append(out, m.elems[i:]...)
+	return Multiset[T]{cmp: m.cmp, elems: out}
+}
+
+// Union returns the multiset union m ∪ other (multiplicities add). This is
+// the bold-∪ of the paper: the state of a group B∪C is S_B ∪ S_C.
+func (m Multiset[T]) Union(other Multiset[T]) Multiset[T] {
+	cmp := m.cmp
+	if cmp == nil {
+		cmp = other.cmp
+	}
+	out := make([]T, 0, len(m.elems)+len(other.elems))
+	i, j := 0, 0
+	for i < len(m.elems) && j < len(other.elems) {
+		if cmp(m.elems[i], other.elems[j]) <= 0 {
+			out = append(out, m.elems[i])
+			i++
+		} else {
+			out = append(out, other.elems[j])
+			j++
+		}
+	}
+	out = append(out, m.elems[i:]...)
+	out = append(out, other.elems[j:]...)
+	return Multiset[T]{cmp: cmp, elems: out}
+}
+
+// Equal reports multiset equality: same cardinality and pairwise-equal
+// canonical forms under the comparison function.
+func (m Multiset[T]) Equal(other Multiset[T]) bool {
+	if len(m.elems) != len(other.elems) {
+		return false
+	}
+	cmp := m.cmp
+	if cmp == nil {
+		cmp = other.cmp
+	}
+	for i := range m.elems {
+		if cmp(m.elems[i], other.elems[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Map applies fn to every element and returns the resulting multiset
+// (re-canonicalized, since fn need not be monotone).
+func (m Multiset[T]) Map(fn func(T) T) Multiset[T] {
+	out := make([]T, len(m.elems))
+	for i, v := range m.elems {
+		out[i] = fn(v)
+	}
+	return New(m.cmp, out...)
+}
+
+// Filter returns the multiset of elements for which keep reports true.
+func (m Multiset[T]) Filter(keep func(T) bool) Multiset[T] {
+	out := make([]T, 0, len(m.elems))
+	for _, v := range m.elems {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	return Multiset[T]{cmp: m.cmp, elems: out}
+}
+
+// ForEach calls fn on every element in canonical order.
+func (m Multiset[T]) ForEach(fn func(T)) {
+	for _, v := range m.elems {
+		fn(v)
+	}
+}
+
+// Format renders the multiset as {e0, e1, ...} using the supplied element
+// formatter, in canonical order.
+func (m Multiset[T]) Format(elem func(T) string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range m.elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(elem(v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// String renders the multiset with fmt's default %v formatting per element.
+func (m Multiset[T]) String() string {
+	return m.Format(func(v T) string { return fmt.Sprintf("%v", v) })
+}
+
+// OrderedCmp returns a Cmp for any ordered primitive type.
+func OrderedCmp[T int | int8 | int16 | int32 | int64 | uint | uint8 | uint16 | uint32 | uint64 | float32 | float64 | string]() Cmp[T] {
+	return func(a, b T) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// OfInts builds a multiset of ints with the natural order. It is the most
+// common constructor in the paper's examples (§4.1–§4.3).
+func OfInts(vals ...int) Multiset[int] { return New(OrderedCmp[int](), vals...) }
+
+// OfFloats builds a multiset of float64s with the natural order.
+func OfFloats(vals ...float64) Multiset[float64] { return New(OrderedCmp[float64](), vals...) }
+
+// SumInts returns the sum of an integer multiset. Helper for the paper's
+// §4.2 sum problem and the summation-form variant functions of (8).
+func SumInts(m Multiset[int]) int {
+	total := 0
+	m.ForEach(func(v int) { total += v })
+	return total
+}
+
+// SumFloats returns the sum of a float multiset.
+func SumFloats(m Multiset[float64]) float64 {
+	total := 0.0
+	m.ForEach(func(v float64) { total += v })
+	return total
+}

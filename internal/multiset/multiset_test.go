@@ -1,0 +1,308 @@
+package multiset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCanonicalOrder(t *testing.T) {
+	m := OfInts(3, 1, 2, 1)
+	want := []int{1, 1, 2, 3}
+	got := m.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("element %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	src := []int{5, 4}
+	m := New(OrderedCmp[int](), src...)
+	src[0] = 99
+	if m.Contains(99) {
+		t.Error("multiset aliases caller slice")
+	}
+}
+
+func TestElementsCopy(t *testing.T) {
+	m := OfInts(1, 2, 3)
+	e := m.Elements()
+	e[0] = 42
+	if m.At(0) != 1 {
+		t.Error("Elements returned aliased storage")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	m := OfInts()
+	if !m.IsEmpty() || m.Len() != 0 {
+		t.Error("empty multiset misreported")
+	}
+	if _, ok := m.Min(); ok {
+		t.Error("Min on empty reported ok")
+	}
+	if _, ok := m.Max(); ok {
+		t.Error("Max on empty reported ok")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	m := OfInts(7, 3, 9, 3)
+	if v, ok := m.Min(); !ok || v != 3 {
+		t.Errorf("Min = %d,%v want 3,true", v, ok)
+	}
+	if v, ok := m.Max(); !ok || v != 9 {
+		t.Errorf("Max = %d,%v want 9,true", v, ok)
+	}
+}
+
+func TestCountContains(t *testing.T) {
+	m := OfInts(2, 2, 5, 7, 2)
+	cases := []struct {
+		v    int
+		want int
+	}{{2, 3}, {5, 1}, {7, 1}, {0, 0}, {8, 0}, {3, 0}}
+	for _, c := range cases {
+		if got := m.Count(c.v); got != c.want {
+			t.Errorf("Count(%d) = %d, want %d", c.v, got, c.want)
+		}
+		if got := m.Contains(c.v); got != (c.want > 0) {
+			t.Errorf("Contains(%d) = %v, want %v", c.v, got, c.want > 0)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	m := OfInts(1, 3)
+	m2 := m.Add(2)
+	if m.Len() != 2 {
+		t.Error("Add mutated receiver")
+	}
+	if m2.Len() != 3 || m2.At(1) != 2 {
+		t.Errorf("Add result = %v", m2)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := OfInts(1, 3, 5)
+	b := OfInts(2, 3)
+	u := a.Union(b)
+	want := OfInts(1, 2, 3, 3, 5)
+	if !u.Equal(want) {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	// Union with empty on either side.
+	if !a.Union(OfInts()).Equal(a) || !OfInts().Union(a).Equal(a) {
+		t.Error("union with empty not identity")
+	}
+}
+
+func TestUnionZeroValue(t *testing.T) {
+	var zero Multiset[int]
+	a := OfInts(4, 1)
+	if !zero.Union(a).Equal(a) {
+		t.Error("zero-value multiset union failed")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !OfInts(1, 2, 2).Equal(OfInts(2, 1, 2)) {
+		t.Error("order-insensitive equality failed")
+	}
+	if OfInts(1, 2).Equal(OfInts(1, 2, 2)) {
+		t.Error("different multiplicities compared equal")
+	}
+	if OfInts(1, 2).Equal(OfInts(1, 3)) {
+		t.Error("different values compared equal")
+	}
+}
+
+func TestMap(t *testing.T) {
+	m := OfInts(3, 1, 2)
+	sq := m.Map(func(v int) int { return -v })
+	want := OfInts(-1, -2, -3)
+	if !sq.Equal(want) {
+		t.Errorf("Map = %v, want %v", sq, want)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	m := OfInts(1, 2, 3, 4, 5)
+	even := m.Filter(func(v int) bool { return v%2 == 0 })
+	if !even.Equal(OfInts(2, 4)) {
+		t.Errorf("Filter = %v", even)
+	}
+}
+
+func TestFromSorted(t *testing.T) {
+	m := FromSorted(OrderedCmp[int](), []int{1, 2, 2, 9})
+	if m.Len() != 4 || m.At(3) != 9 {
+		t.Errorf("FromSorted = %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSorted accepted unsorted input")
+		}
+	}()
+	FromSorted(OrderedCmp[int](), []int{2, 1})
+}
+
+func TestStringFormat(t *testing.T) {
+	m := OfInts(3, 1)
+	if got := m.String(); got != "{1, 3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := OfInts().String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestSums(t *testing.T) {
+	if got := SumInts(OfInts(3, 5, 3, 7)); got != 18 {
+		t.Errorf("SumInts = %d, want 18", got)
+	}
+	if got := SumFloats(OfFloats(1.5, 2.5)); got != 4.0 {
+		t.Errorf("SumFloats = %g, want 4", got)
+	}
+	if got := SumInts(OfInts()); got != 0 {
+		t.Errorf("SumInts empty = %d", got)
+	}
+}
+
+// --- Property-based tests (testing/quick) ---
+
+func TestPropUnionCommutative(t *testing.T) {
+	f := func(a, b []int) bool {
+		x, y := OfInts(a...), OfInts(b...)
+		return x.Union(y).Equal(y.Union(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionAssociative(t *testing.T) {
+	f := func(a, b, c []int) bool {
+		x, y, z := OfInts(a...), OfInts(b...), OfInts(c...)
+		return x.Union(y).Union(z).Equal(x.Union(y.Union(z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionCardinality(t *testing.T) {
+	f := func(a, b []int) bool {
+		x, y := OfInts(a...), OfInts(b...)
+		return x.Union(y).Len() == len(a)+len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCountsSumToLen(t *testing.T) {
+	f := func(a []int) bool {
+		m := OfInts(a...)
+		seen := map[int]bool{}
+		total := 0
+		for _, v := range a {
+			if !seen[v] {
+				seen[v] = true
+				total += m.Count(v)
+			}
+		}
+		return total == m.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEqualIsPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(a []int) bool {
+		b := make([]int, len(a))
+		copy(b, a)
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		return OfInts(a...).Equal(OfInts(b...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropElementsSorted(t *testing.T) {
+	f := func(a []int) bool {
+		return sort.IntsAreSorted(OfInts(a...).Elements())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddIncreasesCount(t *testing.T) {
+	f := func(a []int, v int) bool {
+		m := OfInts(a...)
+		return m.Add(v).Count(v) == m.Count(v)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructElementType(t *testing.T) {
+	type pair struct{ x, y int }
+	cmp := func(a, b pair) int {
+		if a.x != b.x {
+			return a.x - b.x
+		}
+		return a.y - b.y
+	}
+	m := New(cmp, pair{2, 1}, pair{1, 9}, pair{2, 0})
+	if m.At(0) != (pair{1, 9}) || m.At(1) != (pair{2, 0}) || m.At(2) != (pair{2, 1}) {
+		t.Errorf("struct multiset order wrong: %v", m)
+	}
+	if !m.Contains(pair{2, 1}) || m.Contains(pair{3, 3}) {
+		t.Error("struct Contains wrong")
+	}
+}
+
+// Fuzz: union/equality invariants under arbitrary inputs. In normal test
+// runs only the seed corpus executes.
+func FuzzUnionInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{255, 0, 128}, []byte{128})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		toInts := func(bs []byte) []int {
+			out := make([]int, len(bs))
+			for i, v := range bs {
+				out[i] = int(v)
+			}
+			return out
+		}
+		x, y := OfInts(toInts(a)...), OfInts(toInts(b)...)
+		u := x.Union(y)
+		if u.Len() != x.Len()+y.Len() {
+			t.Fatalf("union cardinality %d != %d+%d", u.Len(), x.Len(), y.Len())
+		}
+		if !u.Equal(y.Union(x)) {
+			t.Fatal("union not commutative")
+		}
+		if !sort.IntsAreSorted(u.Elements()) {
+			t.Fatal("union not canonical")
+		}
+		for _, v := range a {
+			if u.Count(int(v)) != x.Count(int(v))+y.Count(int(v)) {
+				t.Fatalf("count mismatch for %d", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	ms "repro/internal/multiset"
+)
+
+func hullsOf(states ...HullState) ms.Multiset[HullState] {
+	return ms.New(CompareHullStates, states...)
+}
+
+func randomPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	return pts
+}
+
+func TestHullFConverges(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}, {X: 2, Y: 2}}
+	init := hullsOf(InitialHulls(pts)...)
+	got := HullF().Apply(init)
+	global := geom.ConvexHull(pts)
+	got.ForEach(func(s HullState) {
+		if !geom.SamePointSet(s.V, global, 1e-9) {
+			t.Errorf("agent hull %v != global %v", s.V, global)
+		}
+	})
+}
+
+// Fig. 3: the convex-hull function is super-idempotent (randomized check
+// over random point sets).
+func TestFig3HullSuperIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eq := HullStatesEqual(1e-7)
+	gen := func(r *rand.Rand) ms.Multiset[HullState] {
+		n := 1 + r.Intn(5)
+		states := make([]HullState, n)
+		for i := range states {
+			// Each agent already knows a random set of 1..4 points.
+			known := randomPoints(r, 1+r.Intn(4))
+			states[i] = HullState{Home: known[0], V: geom.ConvexHull(known)}
+		}
+		return hullsOf(states...)
+	}
+	if v := core.CheckSuperIdempotent(HullF(), eq, gen, gen, 400, rng); v != nil {
+		t.Errorf("hull flagged: %v", v)
+	}
+}
+
+// Fig. 2: the naive circumscribing-circle function is NOT super-idempotent.
+func TestFig2CircleNotSuperIdempotent(t *testing.T) {
+	pts := Fig2Configuration()
+	f := CircumcircleNaiveF()
+	eq := CircleStatesEqual(1e-6)
+
+	all := InitialCircles(pts)
+	x := ms.New(CompareCircleStates, all[0], all[1], all[2]) // B = agents 1–3
+	y := ms.New(CompareCircleStates, all[3])                 // C = agent 4
+
+	direct := f.Apply(x.Union(y))
+	via := f.Apply(f.Apply(x).Union(y))
+	if eq(direct, via) {
+		t.Fatalf("Fig. 2 configuration did not separate: direct=%v via=%v", direct, via)
+	}
+	// Quantify the gap like the figure does (solid vs dashed circle).
+	dc := direct.At(0).Est
+	vc := via.At(0).Est
+	if vc.R <= dc.R {
+		t.Errorf("expected the via-local circle to be strictly larger: direct=%v via=%v", dc, vc)
+	}
+	// And idempotence still holds.
+	rng := rand.New(rand.NewSource(2))
+	gen := func(r *rand.Rand) ms.Multiset[CircleState] {
+		return ms.New(CompareCircleStates, InitialCircles(randomPoints(r, 1+r.Intn(5)))...)
+	}
+	if v := core.CheckIdempotent(f, eq, gen, 200, rng); v != nil {
+		t.Errorf("naive circle not idempotent: %v", v)
+	}
+}
+
+// Randomized search confirms Fig. 2 violations are common, not a corner
+// case.
+func TestFig2ViolationsAreCommon(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := CircumcircleNaiveF()
+	eq := CircleStatesEqual(1e-6)
+	gen := func(r *rand.Rand) ms.Multiset[CircleState] {
+		return ms.New(CompareCircleStates, InitialCircles(randomPoints(r, 2+r.Intn(3)))...)
+	}
+	v := core.CheckSuperIdempotent(f, eq, gen, gen, 500, rng)
+	if v == nil {
+		t.Error("no super-idempotence violation found for the naive circle function")
+	}
+}
+
+func TestHullStepsAreDSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 8)
+	p := NewHull(pts)
+	states := InitialHulls(pts)
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(len(states))
+		sel := rng.Perm(len(states))[:k]
+		group := make([]HullState, k)
+		for i, s := range sel {
+			group[i] = states[s]
+		}
+		after := p.GroupStep(group, rng)
+		before := ms.New(p.Cmp(), group...)
+		afterM := ms.New(p.Cmp(), after...)
+		v := core.CheckDStep(p.F(), p.H(), p.Equal, before, afterM, 1e-9)
+		if !v.OK {
+			t.Fatalf("hull step %v→%v: %v", before, afterM, v)
+		}
+		// Commit the step for some agents to diversify subsequent trials.
+		for i, s := range sel {
+			states[s] = after[i]
+		}
+	}
+}
+
+func TestHullVariantDecreasesToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 6)
+	p := NewHull(pts)
+	h := p.H()
+	init := hullsOf(InitialHulls(pts)...)
+	goal := HullF().Apply(init)
+	if hv := h.Value(goal); hv > 1e-9 {
+		t.Errorf("h at goal = %g, want 0", hv)
+	}
+	if h.Value(init) <= h.Value(goal) {
+		t.Error("h(init) not above h(goal)")
+	}
+}
+
+func TestCircumcircleFromHull(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}}
+	p := NewHull(pts)
+	goal := p.F().Apply(hullsOf(InitialHulls(pts)...))
+	c := Circumcircle(goal.At(0))
+	want := geom.Circle{C: geom.Point{X: 1, Y: 1}, R: 1.4142135623730951}
+	if !c.Near(want, 1e-6) {
+		t.Errorf("circumcircle = %v, want %v", c, want)
+	}
+}
+
+func TestHullEqualTolerance(t *testing.T) {
+	p := NewHull([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}})
+	a := hullsOf(HullState{Home: geom.Point{}, V: []geom.Point{{X: 0, Y: 0}}})
+	b := hullsOf(HullState{Home: geom.Point{}, V: []geom.Point{{X: 0, Y: 1e-9}}})
+	if !p.Equal(a, b) {
+		t.Error("tolerance equality too strict")
+	}
+	c := hullsOf(HullState{Home: geom.Point{}, V: []geom.Point{{X: 0, Y: 1}}})
+	if p.Equal(a, c) {
+		t.Error("tolerance equality too loose")
+	}
+	if p.Equal(a, a.Union(b)) {
+		t.Error("different cardinalities compared equal")
+	}
+}
+
+func TestHullPairStep(t *testing.T) {
+	p := NewHull([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 3}})
+	init := InitialHulls([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 3}})
+	a, b := p.PairStep(init[0], init[1], nil)
+	wantHull := geom.ConvexHull([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}})
+	if !geom.SamePointSet(a.V, wantHull, 1e-9) || !geom.SamePointSet(b.V, wantHull, 1e-9) {
+		t.Errorf("PairStep hulls = %v / %v", a.V, b.V)
+	}
+	if a.Home != init[0].Home || b.Home != init[1].Home {
+		t.Error("PairStep changed home coordinates")
+	}
+}
+
+func TestCompareHullStates(t *testing.T) {
+	s1 := HullState{Home: geom.Point{X: 0, Y: 0}, V: []geom.Point{{X: 0, Y: 0}}}
+	s2 := HullState{Home: geom.Point{X: 0, Y: 0}, V: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}}
+	s3 := HullState{Home: geom.Point{X: 1, Y: 0}, V: []geom.Point{{X: 0, Y: 0}}}
+	if CompareHullStates(s1, s1) != 0 {
+		t.Error("self-compare nonzero")
+	}
+	if CompareHullStates(s1, s2) >= 0 {
+		t.Error("hull size tiebreak wrong")
+	}
+	if CompareHullStates(s1, s3) >= 0 {
+		t.Error("home order wrong")
+	}
+	// Same vertex sets in different rotation compare equal.
+	s4 := HullState{Home: geom.Point{X: 0, Y: 0}, V: []geom.Point{{X: 1, Y: 1}, {X: 0, Y: 0}}}
+	if CompareHullStates(s2, s4) != 0 {
+		t.Error("rotation-insensitive compare failed")
+	}
+}
+
+func TestCompareCircleStates(t *testing.T) {
+	c1 := CircleState{Home: geom.Point{X: 0, Y: 0}, Est: geom.Circle{C: geom.Point{X: 0, Y: 0}, R: 1}}
+	c2 := CircleState{Home: geom.Point{X: 0, Y: 0}, Est: geom.Circle{C: geom.Point{X: 0, Y: 0}, R: 2}}
+	if CompareCircleStates(c1, c1) != 0 || CompareCircleStates(c1, c2) >= 0 || CompareCircleStates(c2, c1) <= 0 {
+		t.Error("circle state order wrong")
+	}
+}

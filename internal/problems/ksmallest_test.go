@@ -1,0 +1,144 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	ms "repro/internal/multiset"
+)
+
+func kvecsOf(vs ...KVec) ms.Multiset[KVec] { return ms.New(CompareKVecs, vs...) }
+
+func kv(vals ...int) KVec { return KVec{Vals: vals} }
+
+func TestKSmallestFBasic(t *testing.T) {
+	f := KSmallestF(3)
+	got := f.Apply(kvecsOf(InitialKVecs(3, []int{5, 2, 9, 2, 7})...))
+	want := kvecsOf(kv(2, 5, 7), kv(2, 5, 7), kv(2, 5, 7), kv(2, 5, 7), kv(2, 5, 7))
+	if !got.Equal(want) {
+		t.Errorf("f = %v, want %v", got, want)
+	}
+}
+
+func TestKSmallestPadding(t *testing.T) {
+	f := KSmallestF(3)
+	// Only two distinct values: pad with the larger.
+	got := f.Apply(kvecsOf(kv(4, 4, 4), kv(9, 9, 9)))
+	want := kvecsOf(kv(4, 9, 9), kv(4, 9, 9))
+	if !got.Equal(want) {
+		t.Errorf("padded f = %v, want %v", got, want)
+	}
+	// Single distinct value: unchanged.
+	same := kvecsOf(kv(4, 4, 4), kv(4, 4, 4))
+	if !f.Apply(same).Equal(same) {
+		t.Errorf("all-equal changed: %v", f.Apply(same))
+	}
+}
+
+func TestKSmallestMatchesMinPairAtK2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fk := KSmallestF(2)
+	fp := MinPairF()
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(10)
+		}
+		gotK := fk.Apply(kvecsOf(InitialKVecs(2, vals)...))
+		gotP := fp.Apply(ms.New(ComparePairs, InitialPairs(vals)...))
+		for i := 0; i < gotK.Len(); i++ {
+			kvv := gotK.At(i)
+			pv := gotP.At(i)
+			if kvv.Vals[0] != pv.X || kvv.Vals[1] != pv.Y {
+				t.Fatalf("trial %d: k=2 %v disagrees with min-pair %v (vals %v)", trial, kvv, pv, vals)
+			}
+		}
+	}
+}
+
+func kvecGen(k, maxLen, maxVal int) core.Gen[KVec] {
+	return func(rng *rand.Rand) ms.Multiset[KVec] {
+		n := 1 + rng.Intn(maxLen)
+		vs := make([]KVec, n)
+		for i := range vs {
+			// Draw a plausible estimate: sorted distinct prefix + padding.
+			vals := make([]int, 0, k)
+			v := rng.Intn(maxVal)
+			vals = append(vals, v)
+			for len(vals) < k {
+				if rng.Intn(2) == 0 {
+					v += 1 + rng.Intn(3)
+				}
+				vals = append(vals, v)
+			}
+			vs[i] = KVec{Vals: vals}
+		}
+		return kvecsOf(vs...)
+	}
+}
+
+func TestKSmallestSuperIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{1, 2, 3, 4} {
+		eq := core.ExactEqual[KVec]()
+		gen := kvecGen(k, 5, 10)
+		if v := core.CheckSuperIdempotent(KSmallestF(k), eq, gen, gen, 800, rng); v != nil {
+			t.Errorf("k=%d: %v", k, v)
+		}
+	}
+}
+
+func TestKSmallestStepsAreDSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{2, 3} {
+		// kvecGen can exceed its maxVal by 3 per level when padding, so
+		// the bound C (a strict upper bound on all values) must cover it.
+		p := NewKSmallest(k, 8, 16+3*k)
+		gen := kvecGen(k, 6, 16)
+		for i := 0; i < 500; i++ {
+			before := gen(rng)
+			states := before.Elements()
+			after := ms.New(p.Cmp(), p.GroupStep(states, rng)...)
+			v := core.CheckDStep(p.F(), p.H(), p.Equal, before, after, 0)
+			if !v.OK {
+				t.Fatalf("k=%d step %v→%v: %v", k, before, after, v)
+			}
+		}
+	}
+}
+
+func TestKSmallestPairStep(t *testing.T) {
+	p := NewKSmallest(3, 4, 10)
+	a, b := p.PairStep(kv(2, 2, 2), kv(5, 7, 7), nil)
+	want := kv(2, 5, 7)
+	if CompareKVecs(a, want) != 0 || CompareKVecs(b, want) != 0 {
+		t.Errorf("PairStep = %v,%v want %v", a, b, want)
+	}
+}
+
+func TestCompareKVecs(t *testing.T) {
+	if CompareKVecs(kv(1, 2), kv(1, 2)) != 0 {
+		t.Error("equal vecs")
+	}
+	if CompareKVecs(kv(1, 2), kv(1, 3)) >= 0 {
+		t.Error("lex order wrong")
+	}
+	if CompareKVecs(kv(1), kv(1, 0)) >= 0 {
+		t.Error("length tiebreak wrong")
+	}
+}
+
+func TestInitialKVecs(t *testing.T) {
+	vs := InitialKVecs(3, []int{4, 7})
+	if CompareKVecs(vs[0], kv(4, 4, 4)) != 0 || CompareKVecs(vs[1], kv(7, 7, 7)) != 0 {
+		t.Errorf("InitialKVecs = %v", vs)
+	}
+}
+
+func TestKVecString(t *testing.T) {
+	if got := kv(1, 2).String(); got != "(1, 2)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,202 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	ms "repro/internal/multiset"
+)
+
+func pairsOf(pairs ...Pair) ms.Multiset[Pair] { return ms.New(ComparePairs, pairs...) }
+
+func TestMinPairFMatchesPaper(t *testing.T) {
+	f := MinPairF()
+	// f({(2,5),(3,4),(2,7)}) = {(2,3),(2,3),(2,3)}.
+	got := f.Apply(pairsOf(Pair{2, 5}, Pair{3, 4}, Pair{2, 7}))
+	want := pairsOf(Pair{2, 3}, Pair{2, 3}, Pair{2, 3})
+	if !got.Equal(want) {
+		t.Errorf("f = %v, want %v", got, want)
+	}
+	// f({(2,2),(2,2)}) = {(2,2),(2,2)} (all values equal: unchanged).
+	same := pairsOf(Pair{2, 2}, Pair{2, 2})
+	if !f.Apply(same).Equal(same) {
+		t.Errorf("all-equal case changed: %v", f.Apply(same))
+	}
+}
+
+func TestMinPairFComputesSecondSmallest(t *testing.T) {
+	// End-to-end: initial (x,x) pairs for values {3,5,3,7}; the second
+	// component of the fixpoint is the second smallest, 5.
+	init := pairsOf(InitialPairs([]int{3, 5, 3, 7})...)
+	got := MinPairF().Apply(init)
+	want := pairsOf(Pair{3, 5}, Pair{3, 5}, Pair{3, 5}, Pair{3, 5})
+	if !got.Equal(want) {
+		t.Errorf("f(init) = %v, want %v", got, want)
+	}
+}
+
+func pairGen(maxLen, maxVal int) core.Gen[Pair] {
+	return func(rng *rand.Rand) ms.Multiset[Pair] {
+		n := 1 + rng.Intn(maxLen)
+		ps := make([]Pair, n)
+		for i := range ps {
+			x := rng.Intn(maxVal)
+			y := x
+			if rng.Intn(2) == 0 {
+				y = x + rng.Intn(maxVal-x)
+			}
+			ps[i] = Pair{x, y}
+		}
+		return pairsOf(ps...)
+	}
+}
+
+func TestMinPairSuperIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eq := core.ExactEqual[Pair]()
+	gen := pairGen(5, 8)
+	if v := core.CheckSuperIdempotent(MinPairF(), eq, gen, gen, 2000, rng); v != nil {
+		t.Errorf("min-pair: %v", v)
+	}
+	// Exhaustive over a small pair domain.
+	var domain []Pair
+	for x := 0; x < 3; x++ {
+		for y := x; y < 3; y++ {
+			domain = append(domain, Pair{x, y})
+		}
+	}
+	if v := core.ExhaustiveSuperIdempotent(MinPairF(), eq, domain, ComparePairs, 3); v != nil {
+		t.Errorf("min-pair exhaustive: %v", v)
+	}
+}
+
+func TestMinPairStepsAreDSteps(t *testing.T) {
+	p := NewMinPair(8, 20)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		n := 1 + rng.Intn(6)
+		states := make([]Pair, n)
+		for j := range states {
+			x := rng.Intn(20)
+			y := x
+			switch rng.Intn(3) {
+			case 0:
+				y = x + rng.Intn(20-x)
+			}
+			states[j] = Pair{x, y}
+		}
+		before := ms.New(p.Cmp(), states...)
+		after := ms.New(p.Cmp(), p.GroupStep(states, rng)...)
+		v := core.CheckDStep(p.F(), p.H(), p.Equal, before, after, 0)
+		if !v.OK {
+			t.Fatalf("min-pair step %v→%v: %v", before, after, v)
+		}
+	}
+}
+
+// TestMinPairPaperVariantFlaw machine-checks the deviation documented in
+// minpair.go: the variant printed in §4.3, h(S) = Σ(xa+ya), assigns the
+// same value to S(0) = {(2,2),(5,5)} and to S* = f(S(0)) = {(2,5),(2,5)},
+// violating the paper's own §3.5 requirement
+// (f(S)=S* ∧ S≠S*) ⇒ h(S) > h(S*), so the natural group step is not a
+// D-step under it. The corrected variant used by this package satisfies
+// the requirement on the same instance.
+func TestMinPairPaperVariantFlaw(t *testing.T) {
+	p := NewMinPair(2, 6)
+	s0 := pairsOf(Pair{2, 2}, Pair{5, 5})
+	target := MinPairF().Apply(s0)
+	if !target.Equal(pairsOf(Pair{2, 5}, Pair{2, 5})) {
+		t.Fatalf("target = %v", target)
+	}
+
+	paperH := p.PaperH()
+	if paperH.Value(s0) != paperH.Value(target) {
+		t.Fatalf("expected the printed variant to tie: h(S0)=%g h(S*)=%g",
+			paperH.Value(s0), paperH.Value(target))
+	}
+	// Under the printed variant the natural full step is NOT a D-step.
+	v := core.CheckDStep(p.F(), paperH, p.Equal, s0, target, 0)
+	if v.OK {
+		t.Error("printed variant unexpectedly accepts the step")
+	}
+	// And the trap state has strictly smaller printed-h than the goal.
+	trap := pairsOf(Pair{2, 2}, Pair{2, 5})
+	if !MinPairF().Apply(trap).Equal(target) {
+		t.Fatal("trap is not on the constraint surface")
+	}
+	if paperH.Value(trap) >= paperH.Value(target) {
+		t.Errorf("trap h=%g not below goal h=%g under printed variant",
+			paperH.Value(trap), paperH.Value(target))
+	}
+
+	// The corrected variant repairs both defects.
+	h := p.H()
+	if h.Value(s0) <= h.Value(target) {
+		t.Errorf("corrected variant: h(S0)=%g not above h(S*)=%g", h.Value(s0), h.Value(target))
+	}
+	if h.Value(trap) <= h.Value(target) {
+		t.Errorf("corrected variant: trap h=%g not above goal h=%g", h.Value(trap), h.Value(target))
+	}
+	if v := core.CheckDStep(p.F(), h, p.Equal, s0, target, 0); !v.OK {
+		t.Errorf("corrected variant rejects the natural step: %v", v)
+	}
+}
+
+// The corrected variant is minimized uniquely at S* on the constraint
+// surface, checked exhaustively for a small instance.
+func TestMinPairCorrectedVariantMinimalAtGoal(t *testing.T) {
+	p := NewMinPair(3, 4)
+	f := MinPairF()
+	h := p.H()
+	target := f.Apply(pairsOf(InitialPairs([]int{1, 3, 2})...)) // (1,2)×3
+	hGoal := h.Value(target)
+	var domain []Pair
+	for x := 0; x < 4; x++ {
+		for y := x; y < 4; y++ {
+			domain = append(domain, Pair{x, y})
+		}
+	}
+	core.EnumMultisets(domain, ComparePairs, 3, 3, func(s ms.Multiset[Pair]) bool {
+		if !f.Apply(s).Equal(target) || s.Equal(target) {
+			return true
+		}
+		if h.Value(s) <= hGoal {
+			t.Errorf("state %v on constraint surface has h=%g ≤ h(S*)=%g", s, h.Value(s), hGoal)
+			return false
+		}
+		return true
+	})
+}
+
+func TestMinPairPairStep(t *testing.T) {
+	p := NewMinPair(4, 10)
+	a, b := p.PairStep(Pair{2, 2}, Pair{5, 5}, nil)
+	if a != (Pair{2, 5}) || b != (Pair{2, 5}) {
+		t.Errorf("PairStep = %v,%v", a, b)
+	}
+	// Single distinct value: stutter.
+	a, b = p.PairStep(Pair{3, 3}, Pair{3, 3}, nil)
+	if a != (Pair{3, 3}) || b != (Pair{3, 3}) {
+		t.Errorf("stutter = %v,%v", a, b)
+	}
+}
+
+func TestInitialPairs(t *testing.T) {
+	ps := InitialPairs([]int{4, 7})
+	if ps[0] != (Pair{4, 4}) || ps[1] != (Pair{7, 7}) {
+		t.Errorf("InitialPairs = %v", ps)
+	}
+}
+
+func TestComparePairs(t *testing.T) {
+	if ComparePairs(Pair{1, 2}, Pair{1, 2}) != 0 {
+		t.Error("equal pairs")
+	}
+	if ComparePairs(Pair{1, 9}, Pair{2, 0}) >= 0 {
+		t.Error("x dominates")
+	}
+	if ComparePairs(Pair{1, 2}, Pair{1, 3}) >= 0 {
+		t.Error("y tiebreak")
+	}
+}

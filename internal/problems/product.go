@@ -1,0 +1,165 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	ms "repro/internal/multiset"
+)
+
+// Tuple is the agent state of a product problem: one component per
+// underlying problem.
+type Tuple[A, B any] struct {
+	A A
+	B B
+}
+
+// String renders the tuple.
+func (t Tuple[A, B]) String() string { return fmt.Sprintf("⟨%v, %v⟩", t.A, t.B) }
+
+// Product composes two problems into one: agents carry a state component
+// for each, f applies componentwise, and h is the sum of the component
+// variants. If both component functions are super-idempotent and preserve
+// cardinality, so is the product's — the methodology composes.
+//
+// The canonical pairing: a multiset of tuples is split into its A- and
+// B-multisets; f applies the component functions and re-pairs the results
+// in canonical (sorted) order, which is well defined on multisets. For
+// consensus-style components (everyone converges to the same component
+// value) the pairing is immaterial at the goal; the engine's conservation
+// monitor holds throughout because both component multisets are conserved
+// and the re-pairing is deterministic.
+//
+// A Product's Equal is exact (componentwise tolerance is not propagated),
+// so compose only exact-equality problems — all the integer problems in
+// this package qualify. Range (min and max simultaneously) is the
+// classic instance; see NewRange.
+type Product[A, B any] struct {
+	// PA and PB are the component problems.
+	PA core.Problem[A]
+	PB core.Problem[B]
+}
+
+// NewProduct composes two problems.
+func NewProduct[A, B any](pa core.Problem[A], pb core.Problem[B]) *Product[A, B] {
+	return &Product[A, B]{PA: pa, PB: pb}
+}
+
+// Name implements core.Problem.
+func (p *Product[A, B]) Name() string {
+	return fmt.Sprintf("%s × %s", p.PA.Name(), p.PB.Name())
+}
+
+// Cmp implements core.Problem: lexicographic on components.
+func (p *Product[A, B]) Cmp() ms.Cmp[Tuple[A, B]] {
+	ca, cb := p.PA.Cmp(), p.PB.Cmp()
+	return func(x, y Tuple[A, B]) int {
+		if c := ca(x.A, y.A); c != 0 {
+			return c
+		}
+		return cb(x.B, y.B)
+	}
+}
+
+// Requirement implements core.Problem: the stronger of the two component
+// requirements (complete graph dominates, then line, then any-connected).
+func (p *Product[A, B]) Requirement() core.Requirement {
+	ra, rb := p.PA.Requirement(), p.PB.Requirement()
+	if ra == core.CompleteGraph || rb == core.CompleteGraph {
+		return core.CompleteGraph
+	}
+	if ra == core.LineGraph || rb == core.LineGraph {
+		return core.LineGraph
+	}
+	return core.AnyConnected
+}
+
+// Equal implements core.Problem (exact, via Cmp).
+func (p *Product[A, B]) Equal(a, b ms.Multiset[Tuple[A, B]]) bool { return a.Equal(b) }
+
+// split separates a tuple multiset into its component multisets.
+func (p *Product[A, B]) split(x ms.Multiset[Tuple[A, B]]) (ms.Multiset[A], ms.Multiset[B]) {
+	as := make([]A, 0, x.Len())
+	bs := make([]B, 0, x.Len())
+	x.ForEach(func(t Tuple[A, B]) {
+		as = append(as, t.A)
+		bs = append(bs, t.B)
+	})
+	return ms.New(p.PA.Cmp(), as...), ms.New(p.PB.Cmp(), bs...)
+}
+
+// F implements core.Problem: componentwise f with canonical re-pairing.
+func (p *Product[A, B]) F() core.Function[Tuple[A, B]] {
+	fa, fb := p.PA.F(), p.PB.F()
+	cmp := p.Cmp()
+	return core.FuncOf(p.Name(), func(x ms.Multiset[Tuple[A, B]]) ms.Multiset[Tuple[A, B]] {
+		if x.IsEmpty() {
+			return x
+		}
+		xa, xb := p.split(x)
+		ra, rb := fa.Apply(xa), fb.Apply(xb)
+		if ra.Len() != rb.Len() {
+			panic("problems: product components changed cardinality differently")
+		}
+		out := make([]Tuple[A, B], ra.Len())
+		for i := range out {
+			out[i] = Tuple[A, B]{A: ra.At(i), B: rb.At(i)}
+		}
+		return ms.New(cmp, out...)
+	})
+}
+
+// H implements core.Problem: h = hA + hB, which preserves the
+// local-to-global property when both components have it.
+func (p *Product[A, B]) H() core.Variant[Tuple[A, B]] {
+	ha, hb := p.PA.H(), p.PB.H()
+	return core.VariantOf[Tuple[A, B]]("h_A+h_B", func(x ms.Multiset[Tuple[A, B]]) float64 {
+		xa, xb := p.split(x)
+		return ha.Value(xa) + hb.Value(xb)
+	})
+}
+
+// GroupStep implements core.Problem: componentwise group steps, re-paired
+// positionally (each agent keeps its own components).
+func (p *Product[A, B]) GroupStep(states []Tuple[A, B], rng *rand.Rand) []Tuple[A, B] {
+	as := make([]A, len(states))
+	bs := make([]B, len(states))
+	for i, t := range states {
+		as[i] = t.A
+		bs[i] = t.B
+	}
+	na := p.PA.GroupStep(as, rng)
+	nb := p.PB.GroupStep(bs, rng)
+	out := make([]Tuple[A, B], len(states))
+	for i := range out {
+		out[i] = Tuple[A, B]{A: na[i], B: nb[i]}
+	}
+	return out
+}
+
+// PairStep implements core.Problem.
+func (p *Product[A, B]) PairStep(a, b Tuple[A, B], rng *rand.Rand) (Tuple[A, B], Tuple[A, B]) {
+	a1, a2 := p.PA.PairStep(a.A, b.A, rng)
+	b1, b2 := p.PB.PairStep(a.B, b.B, rng)
+	return Tuple[A, B]{A: a1, B: b1}, Tuple[A, B]{A: a2, B: b2}
+}
+
+// --- Range: min × max ---
+
+// NewRange returns the range problem: every agent learns both the global
+// minimum and the global maximum (values strictly below bound) — the
+// product of the §4.1 minimum problem and its mirror.
+func NewRange(bound int) *Product[int, int] {
+	return NewProduct[int, int](NewMin(), NewMax(bound))
+}
+
+// InitialTuples pairs each agent's value with itself for a same-typed
+// product (e.g. Range: (x, x)).
+func InitialTuples(values []int) []Tuple[int, int] {
+	out := make([]Tuple[int, int], len(values))
+	for i, v := range values {
+		out[i] = Tuple[int, int]{A: v, B: v}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	ms "repro/internal/multiset"
+)
+
+func TestRangeF(t *testing.T) {
+	p := NewRange(100)
+	init := ms.New(p.Cmp(), InitialTuples([]int{3, 5, 3, 7})...)
+	got := p.F().Apply(init)
+	want := ms.New(p.Cmp(),
+		Tuple[int, int]{3, 7}, Tuple[int, int]{3, 7},
+		Tuple[int, int]{3, 7}, Tuple[int, int]{3, 7})
+	if !got.Equal(want) {
+		t.Errorf("range f = %v, want %v", got, want)
+	}
+}
+
+func TestProductName(t *testing.T) {
+	p := NewRange(10)
+	if p.Name() != "minimum × maximum" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestProductRequirement(t *testing.T) {
+	if NewRange(10).Requirement() != core.AnyConnected {
+		t.Error("range requirement")
+	}
+	if NewProduct[int, int](NewMin(), NewSum()).Requirement() != core.CompleteGraph {
+		t.Error("sum component must dominate")
+	}
+	sort3, _ := NewSorting([]int{1, 2, 3})
+	if NewProduct[int, Item](NewMin(), sort3).Requirement() != core.LineGraph {
+		t.Error("line component must dominate any-connected")
+	}
+}
+
+func TestProductGroupStepIsDStep(t *testing.T) {
+	p := NewRange(64)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		states := make([]Tuple[int, int], n)
+		for i := range states {
+			lo := rng.Intn(64)
+			hi := lo + rng.Intn(64-lo)
+			states[i] = Tuple[int, int]{A: lo, B: hi}
+		}
+		after := p.GroupStep(states, rng)
+		before := ms.New(p.Cmp(), states...)
+		afterM := ms.New(p.Cmp(), after...)
+		v := core.CheckDStep(p.F(), p.H(), p.Equal, before, afterM, 0)
+		if !v.OK {
+			t.Fatalf("range step %v→%v: %v", before, afterM, v)
+		}
+	}
+}
+
+func TestProductSuperIdempotent(t *testing.T) {
+	p := NewRange(16)
+	rng := rand.New(rand.NewSource(2))
+	gen := func(r *rand.Rand) ms.Multiset[Tuple[int, int]] {
+		n := 1 + r.Intn(5)
+		states := make([]Tuple[int, int], n)
+		for i := range states {
+			lo := r.Intn(16)
+			states[i] = Tuple[int, int]{A: lo, B: lo + r.Intn(16-lo)}
+		}
+		return ms.New(p.Cmp(), states...)
+	}
+	if v := core.CheckSuperIdempotent(p.F(), p.Equal, gen, gen, 1000, rng); v != nil {
+		t.Errorf("range: %v", v)
+	}
+}
+
+func TestProductPairStep(t *testing.T) {
+	p := NewRange(100)
+	a, b := p.PairStep(Tuple[int, int]{3, 3}, Tuple[int, int]{7, 7}, nil)
+	want := Tuple[int, int]{3, 7}
+	if a != want || b != want {
+		t.Errorf("PairStep = %v,%v", a, b)
+	}
+}
+
+func TestProductCmpLexicographic(t *testing.T) {
+	cmp := NewRange(10).Cmp()
+	if cmp(Tuple[int, int]{1, 5}, Tuple[int, int]{1, 5}) != 0 {
+		t.Error("equal tuples")
+	}
+	if cmp(Tuple[int, int]{1, 9}, Tuple[int, int]{2, 0}) >= 0 {
+		t.Error("A dominates")
+	}
+	if cmp(Tuple[int, int]{1, 2}, Tuple[int, int]{1, 3}) >= 0 {
+		t.Error("B tiebreak")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	if got := (Tuple[int, int]{1, 2}).String(); got != "⟨1, 2⟩" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSetUnionBasics(t *testing.T) {
+	s := SetOf(1, 5, 63)
+	if !s.Contains(1) || !s.Contains(63) || s.Contains(2) {
+		t.Error("membership wrong")
+	}
+	if s.Card() != 3 {
+		t.Errorf("card = %d", s.Card())
+	}
+	if s.String() != "{1,5,63}" {
+		t.Errorf("String = %q", s.String())
+	}
+	if SetOf().String() != "{}" {
+		t.Error("empty set string")
+	}
+}
+
+func TestSetUnionF(t *testing.T) {
+	p := NewSetUnion()
+	init := ms.New(p.Cmp(), SetOf(0, 1), SetOf(2), SetOf(1, 3))
+	got := p.F().Apply(init)
+	u := SetOf(0, 1, 2, 3)
+	got.ForEach(func(s Set) {
+		if s != u {
+			t.Errorf("element %v, want %v", s, u)
+		}
+	})
+}
+
+func TestSetUnionSuperIdempotent(t *testing.T) {
+	p := NewSetUnion()
+	rng := rand.New(rand.NewSource(3))
+	gen := func(r *rand.Rand) ms.Multiset[Set] {
+		n := 1 + r.Intn(5)
+		ss := make([]Set, n)
+		for i := range ss {
+			ss[i] = Set(r.Uint64() & 0xFF)
+		}
+		return ms.New(p.Cmp(), ss...)
+	}
+	if v := core.CheckSuperIdempotent(p.F(), p.Equal, gen, gen, 1000, rng); v != nil {
+		t.Errorf("set-union: %v", v)
+	}
+}
+
+func TestSetUnionStepsAreDSteps(t *testing.T) {
+	p := NewSetUnion()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		states := make([]Set, n)
+		for i := range states {
+			states[i] = Set(rng.Uint64() & 0xFFFF)
+		}
+		after := p.GroupStep(states, rng)
+		before := ms.New(p.Cmp(), states...)
+		afterM := ms.New(p.Cmp(), after...)
+		v := core.CheckDStep(p.F(), p.H(), p.Equal, before, afterM, 0)
+		if !v.OK {
+			t.Fatalf("set-union step %v→%v: %v", before, afterM, v)
+		}
+	}
+	a, b := p.PairStep(SetOf(1), SetOf(2), nil)
+	if a != SetOf(1, 2) || b != SetOf(1, 2) {
+		t.Errorf("PairStep = %v,%v", a, b)
+	}
+}
+
+// Median: the designer's first attempt — idempotent but refuted by the
+// super-idempotence checkers, exactly like second-smallest.
+func TestMedianNotSuperIdempotent(t *testing.T) {
+	f := MedianF()
+	eq := core.ExactEqual[int]()
+	rng := rand.New(rand.NewSource(5))
+	gen := func(r *rand.Rand) ms.Multiset[int] {
+		n := 1 + r.Intn(6)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = r.Intn(9)
+		}
+		return ms.OfInts(vals...)
+	}
+	if v := core.CheckIdempotent(f, eq, gen, 500, rng); v != nil {
+		t.Errorf("median not idempotent: %v", v)
+	}
+	v := core.ExhaustiveSuperIdempotent(f, eq, []int{0, 1, 2, 3}, ms.OrderedCmp[int](), 3)
+	if v == nil {
+		t.Fatal("median survived the super-idempotence check")
+	}
+	// The counterexample must be genuine.
+	direct := f.Apply(v.X.Union(v.Y))
+	via := f.Apply(f.Apply(v.X).Union(v.Y))
+	if direct.Equal(via) {
+		t.Errorf("reported counterexample is not one: %v", v)
+	}
+}
+
+func TestMedianValue(t *testing.T) {
+	got := MedianF().Apply(ms.OfInts(5, 1, 9))
+	if !got.Equal(ms.OfInts(5, 5, 5)) {
+		t.Errorf("median = %v", got)
+	}
+	// Even cardinality: lower median.
+	got = MedianF().Apply(ms.OfInts(1, 2, 3, 4))
+	if !got.Equal(ms.OfInts(2, 2, 2, 2)) {
+		t.Errorf("lower median = %v", got)
+	}
+}

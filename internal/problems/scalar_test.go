@@ -1,0 +1,356 @@
+package problems
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	ms "repro/internal/multiset"
+)
+
+func intGen(maxLen, maxVal int) core.Gen[int] {
+	return func(rng *rand.Rand) ms.Multiset[int] {
+		n := 1 + rng.Intn(maxLen)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(maxVal)
+		}
+		return ms.OfInts(vals...)
+	}
+}
+
+// checkGroupStepIsDStep runs random group steps of an int problem and
+// verifies each is a D-step — the paper's first proof obligation turned
+// into a test.
+func checkGroupStepIsDStep(t *testing.T, p core.Problem[int], genVals func(*rand.Rand) []int, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < trials; i++ {
+		vals := genVals(rng)
+		after := p.GroupStep(vals, rng)
+		if len(after) != len(vals) {
+			t.Fatalf("%s: GroupStep changed cardinality %d→%d", p.Name(), len(vals), len(after))
+		}
+		before := ms.New(p.Cmp(), vals...)
+		afterM := ms.New(p.Cmp(), after...)
+		v := core.CheckDStep(p.F(), p.H(), p.Equal, before, afterM, 0)
+		if !v.OK {
+			t.Fatalf("%s: step %v→%v is %v", p.Name(), before, afterM, v)
+		}
+	}
+}
+
+func TestMinMatchesPaper(t *testing.T) {
+	got := MinF().Apply(ms.OfInts(3, 5, 3, 7))
+	if !got.Equal(ms.OfInts(3, 3, 3, 3)) {
+		t.Errorf("f({3,5,3,7}) = %v, want {3,3,3,3}", got)
+	}
+}
+
+func TestMinGroupStep(t *testing.T) {
+	p := NewMin()
+	out := p.GroupStep([]int{5, 3, 9}, nil)
+	for _, v := range out {
+		if v != 3 {
+			t.Errorf("GroupStep = %v, want all 3", out)
+		}
+	}
+	// Stutter when already converged.
+	out = p.GroupStep([]int{3, 3}, nil)
+	if out[0] != 3 || out[1] != 3 {
+		t.Errorf("stutter wrong: %v", out)
+	}
+	// Input not mutated.
+	in := []int{7, 2}
+	p.GroupStep(in, nil)
+	if in[0] != 7 {
+		t.Error("GroupStep mutated input")
+	}
+}
+
+func TestMinPartialStepsAreDSteps(t *testing.T) {
+	p := &Min{Partial: true}
+	checkGroupStepIsDStep(t, p, func(rng *rand.Rand) []int {
+		n := 1 + rng.Intn(6)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(50)
+		}
+		return vals
+	}, 500)
+}
+
+func TestMinGreedyStepsAreDSteps(t *testing.T) {
+	checkGroupStepIsDStep(t, NewMin(), func(rng *rand.Rand) []int {
+		n := 1 + rng.Intn(6)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(50)
+		}
+		return vals
+	}, 500)
+}
+
+func TestMinSuperIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := intGen(6, 12)
+	if v := core.CheckSuperIdempotent(MinF(), core.ExactEqual[int](), gen, gen, 1000, rng); v != nil {
+		t.Errorf("min: %v", v)
+	}
+	if v := core.ExhaustiveSuperIdempotent(MinF(), core.ExactEqual[int](), []int{0, 1, 2, 3}, ms.OrderedCmp[int](), 4); v != nil {
+		t.Errorf("min exhaustive: %v", v)
+	}
+}
+
+func TestMaxProblem(t *testing.T) {
+	p := NewMax(100)
+	got := MaxF().Apply(ms.OfInts(3, 5, 3, 7))
+	if !got.Equal(ms.OfInts(7, 7, 7, 7)) {
+		t.Errorf("max f = %v", got)
+	}
+	checkGroupStepIsDStep(t, p, func(rng *rand.Rand) []int {
+		n := 1 + rng.Intn(6)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(100)
+		}
+		return vals
+	}, 500)
+	rng := rand.New(rand.NewSource(2))
+	gen := intGen(6, 12)
+	if v := core.CheckSuperIdempotent(MaxF(), core.ExactEqual[int](), gen, gen, 1000, rng); v != nil {
+		t.Errorf("max: %v", v)
+	}
+	a, b := p.PairStep(3, 9, rng)
+	if a != 9 || b != 9 {
+		t.Errorf("PairStep = %d,%d", a, b)
+	}
+}
+
+func TestSumMatchesPaper(t *testing.T) {
+	got := SumF().Apply(ms.OfInts(3, 5, 3, 7))
+	if !got.Equal(ms.OfInts(18, 0, 0, 0)) {
+		t.Errorf("f({3,5,3,7}) = %v, want {18,0,0,0}", got)
+	}
+}
+
+func TestSumGroupStep(t *testing.T) {
+	p := NewSum()
+	out := p.GroupStep([]int{3, 5, 7}, nil)
+	// Total consolidates at the position of the max (value 7, position 2).
+	if out[0] != 0 || out[1] != 0 || out[2] != 15 {
+		t.Errorf("GroupStep = %v", out)
+	}
+	// At most one non-zero: stutter.
+	out = p.GroupStep([]int{0, 9, 0}, nil)
+	if out[0] != 0 || out[1] != 9 || out[2] != 0 {
+		t.Errorf("stutter = %v", out)
+	}
+}
+
+func TestSumStepsAreDSteps(t *testing.T) {
+	checkGroupStepIsDStep(t, NewSum(), func(rng *rand.Rand) []int {
+		n := 1 + rng.Intn(6)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(20)
+		}
+		return vals
+	}, 500)
+}
+
+func TestSumPairStepZeroIsStutter(t *testing.T) {
+	p := NewSum()
+	if a, b := p.PairStep(0, 7, nil); a != 0 || b != 7 {
+		t.Errorf("zero pair moved value: %d,%d (zero agents must not act as couriers)", a, b)
+	}
+	if a, b := p.PairStep(4, 6, nil); a != 10 || b != 0 {
+		t.Errorf("PairStep = %d,%d", a, b)
+	}
+}
+
+func TestSumVariantMatchesPaperForm(t *testing.T) {
+	h := NewSum().H()
+	// h({3,5,3,7}) = 18² − (9+25+9+49) = 324 − 92 = 232.
+	if got := h.Value(ms.OfInts(3, 5, 3, 7)); got != 232 {
+		t.Errorf("h = %g, want 232", got)
+	}
+	// At the goal state h = total² − total² = 0.
+	if got := h.Value(ms.OfInts(18, 0, 0, 0)); got != 0 {
+		t.Errorf("h(goal) = %g, want 0", got)
+	}
+}
+
+func TestSumSuperIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gen := intGen(5, 10)
+	if v := core.CheckSuperIdempotent(SumF(), core.ExactEqual[int](), gen, gen, 1000, rng); v != nil {
+		t.Errorf("sum: %v", v)
+	}
+}
+
+func TestAverageProblem(t *testing.T) {
+	p := NewAverage(1e-9)
+	got := AverageF().Apply(ms.OfFloats(1, 2, 3, 6))
+	want := ms.OfFloats(3, 3, 3, 3)
+	if !p.Equal(got, want) {
+		t.Errorf("average f = %v", got)
+	}
+	out := p.GroupStep([]float64{1, 3}, nil)
+	if out[0] != 2 || out[1] != 2 {
+		t.Errorf("GroupStep = %v", out)
+	}
+	a, b := p.PairStep(1, 2, nil)
+	if a != 1.5 || b != 1.5 {
+		t.Errorf("PairStep = %g,%g", a, b)
+	}
+}
+
+func TestAverageStepsAreDSteps(t *testing.T) {
+	p := NewAverage(1e-9)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		n := 2 + rng.Intn(5)
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = rng.Float64() * 10
+		}
+		before := ms.New(p.Cmp(), vals...)
+		after := ms.New(p.Cmp(), p.GroupStep(vals, rng)...)
+		v := core.CheckDStep(p.F(), p.H(), p.Equal, before, after, 0)
+		if !v.OK {
+			t.Fatalf("average step %v→%v: %v", before, after, v)
+		}
+	}
+}
+
+func TestAverageSuperIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gen := func(r *rand.Rand) ms.Multiset[float64] {
+		n := 1 + r.Intn(5)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(r.Intn(8)) // grid values: exact means
+		}
+		return ms.OfFloats(vals...)
+	}
+	eq := NewAverage(1e-9).Equal
+	if v := core.CheckSuperIdempotent(AverageF(), eq, gen, gen, 500, rng); v != nil {
+		t.Errorf("average: %v", v)
+	}
+}
+
+func TestGCDProblem(t *testing.T) {
+	p := NewGCD()
+	got := GCDF().Apply(ms.OfInts(12, 18, 30))
+	if !got.Equal(ms.OfInts(6, 6, 6)) {
+		t.Errorf("gcd f = %v", got)
+	}
+	checkGroupStepIsDStep(t, p, func(rng *rand.Rand) []int {
+		n := 1 + rng.Intn(5)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = 1 + rng.Intn(60)
+		}
+		return vals
+	}, 500)
+	a, b := p.PairStep(12, 18, nil)
+	if a != 6 || b != 6 {
+		t.Errorf("PairStep = %d,%d", a, b)
+	}
+}
+
+func TestGCDSuperIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	gen := func(r *rand.Rand) ms.Multiset[int] {
+		n := 1 + r.Intn(5)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = 1 + r.Intn(30)
+		}
+		return ms.OfInts(vals...)
+	}
+	if v := core.CheckSuperIdempotent(GCDF(), core.ExactEqual[int](), gen, gen, 1000, rng); v != nil {
+		t.Errorf("gcd: %v", v)
+	}
+}
+
+func TestSecondSmallestMatchesPaper(t *testing.T) {
+	got := SecondSmallestF().Apply(ms.OfInts(3, 5, 3, 7))
+	if !got.Equal(ms.OfInts(5, 5, 5, 5)) {
+		t.Errorf("f({3,5,3,7}) = %v, want {5,5,5,5}", got)
+	}
+	got = SecondSmallestF().Apply(ms.OfInts(4, 4, 4))
+	if !got.Equal(ms.OfInts(4, 4, 4)) {
+		t.Errorf("all-equal = %v", got)
+	}
+}
+
+// The paper's §4.3 negative result, both with the printed counterexample
+// and by exhaustive refutation.
+func TestSecondSmallestNotSuperIdempotent(t *testing.T) {
+	f := SecondSmallestF()
+	eq := core.ExactEqual[int]()
+	// Printed counterexample: X={1,3}, Y={2}.
+	x, y := ms.OfInts(1, 3), ms.OfInts(2)
+	direct := f.Apply(x.Union(y))
+	via := f.Apply(f.Apply(x).Union(y))
+	if !direct.Equal(ms.OfInts(2, 2, 2)) || !via.Equal(ms.OfInts(3, 3, 3)) {
+		t.Errorf("paper counterexample: f(X∪Y)=%v f(f(X)∪Y)=%v", direct, via)
+	}
+	// Idempotent…
+	rng := rand.New(rand.NewSource(7))
+	if v := core.CheckIdempotent(f, eq, intGen(6, 10), 500, rng); v != nil {
+		t.Errorf("not idempotent: %v", v)
+	}
+	// …but not super-idempotent, exhaustively.
+	if v := core.ExhaustiveSuperIdempotent(f, eq, []int{0, 1, 2, 3}, ms.OrderedCmp[int](), 3); v == nil {
+		t.Error("second-smallest survived exhaustive super-idempotence check")
+	}
+}
+
+func TestRequirements(t *testing.T) {
+	if NewMin().Requirement() != core.AnyConnected {
+		t.Error("min requirement")
+	}
+	if NewSum().Requirement() != core.CompleteGraph {
+		t.Error("sum requirement (§4.2: complete graph)")
+	}
+	if NewGCD().Requirement() != core.AnyConnected {
+		t.Error("gcd requirement")
+	}
+}
+
+func TestVariantsNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(6)
+		vals := make([]int, n)
+		for j := range vals {
+			vals[j] = rng.Intn(50)
+		}
+		m := ms.OfInts(vals...)
+		if h := NewMin().H().Value(m); h < 0 {
+			t.Fatalf("min h negative: %g on %v", h, m)
+		}
+		if h := NewSum().H().Value(m); h < 0 {
+			t.Fatalf("sum h negative: %g on %v", h, m)
+		}
+		if h := NewMax(50).H().Value(m); h < 0 {
+			t.Fatalf("max h negative: %g on %v", h, m)
+		}
+	}
+}
+
+func TestAverageVariantIsPairwiseSquares(t *testing.T) {
+	h := NewAverage(1e-9).H()
+	m := ms.OfFloats(1, 3, 5)
+	// Σ pairs (a−b)²: (1−3)²+(1−5)²+(3−5)² = 4+16+4 = 24.
+	if got := h.Value(m); math.Abs(got-24) > 1e-12 {
+		t.Errorf("h = %g, want 24", got)
+	}
+	if got := h.Value(ms.OfFloats(2, 2, 2)); got != 0 {
+		t.Errorf("h(consensus) = %g", got)
+	}
+}

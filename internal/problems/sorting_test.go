@@ -1,0 +1,264 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	ms "repro/internal/multiset"
+)
+
+func itemsOf(items ...Item) ms.Multiset[Item] { return ms.New(CompareItems, items...) }
+
+func TestSortFMatchesPaper(t *testing.T) {
+	// f({(1,3),(2,5),(3,3),(4,7)}) = {(1,3),(2,3),(3,5),(4,7)}.
+	got := SortF().Apply(itemsOf(Item{1, 3}, Item{2, 5}, Item{3, 3}, Item{4, 7}))
+	want := itemsOf(Item{1, 3}, Item{2, 3}, Item{3, 5}, Item{4, 7})
+	if !got.Equal(want) {
+		t.Errorf("f = %v, want %v", got, want)
+	}
+}
+
+func TestSortFSuperIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eq := core.ExactEqual[Item]()
+	gen := func(r *rand.Rand) ms.Multiset[Item] {
+		n := 1 + r.Intn(6)
+		perm := r.Perm(10)
+		vals := r.Perm(20)
+		items := make([]Item, n)
+		for i := 0; i < n; i++ {
+			items[i] = Item{Index: perm[i], Value: vals[i]}
+		}
+		return itemsOf(items...)
+	}
+	if v := core.CheckSuperIdempotent(SortF(), eq, gen, gen, 1500, rng); v != nil {
+		t.Errorf("sort: %v", v)
+	}
+}
+
+func TestNewSortingRejectsDuplicates(t *testing.T) {
+	if _, err := NewSorting([]int{3, 3}); err == nil {
+		t.Error("duplicate values accepted")
+	}
+}
+
+func TestSortingGroupStepFull(t *testing.T) {
+	p, err := NewSorting([]int{30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.GroupStep(InitialItems([]int{30, 10, 20}), nil)
+	want := []Item{{0, 10}, {1, 20}, {2, 30}}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestSortingGroupStepSubset(t *testing.T) {
+	// Group holds only indexes 0 and 2; sorting permutes within the group.
+	p, err := NewSorting([]int{30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.GroupStep([]Item{{2, 20}, {0, 30}}, nil)
+	// Values {20,30} at indexes {0,2}: 20→0, 30→2. Positional: first
+	// element was index 2 (gets 30), second was index 0 (gets 20).
+	if out[0] != (Item{2, 30}) || out[1] != (Item{0, 20}) {
+		t.Errorf("subset step = %v", out)
+	}
+}
+
+func TestSortingStepsAreDSteps(t *testing.T) {
+	vals := []int{9, 4, 7, 1, 8, 2, 6}
+	p, err := NewSorting(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	items := InitialItems(vals)
+	for trial := 0; trial < 500; trial++ {
+		// Random subgroup of 2..n members.
+		k := 2 + rng.Intn(len(items)-1)
+		sel := rng.Perm(len(items))[:k]
+		group := make([]Item, k)
+		for i, s := range sel {
+			group[i] = items[s]
+		}
+		after := p.GroupStep(group, rng)
+		before := ms.New(p.Cmp(), group...)
+		afterM := ms.New(p.Cmp(), after...)
+		v := core.CheckDStep(p.F(), p.H(), p.Equal, before, afterM, 0)
+		if !v.OK {
+			t.Fatalf("sorting step %v→%v: %v", before, afterM, v)
+		}
+	}
+}
+
+func TestSortingAdjacentStepsAreDSteps(t *testing.T) {
+	vals := []int{5, 3, 4, 1, 2, 0}
+	p, err := NewSorting(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Adjacent = true
+	rng := rand.New(rand.NewSource(3))
+	items := InitialItems(vals)
+	// Run adjacent swaps to completion, checking each step.
+	for steps := 0; steps < 100; steps++ {
+		after := p.GroupStep(items, rng)
+		before := ms.New(p.Cmp(), items...)
+		afterM := ms.New(p.Cmp(), after...)
+		v := core.CheckDStep(p.F(), p.H(), p.Equal, before, afterM, 0)
+		if !v.OK {
+			t.Fatalf("adjacent step %v→%v: %v", before, afterM, v)
+		}
+		if before.Equal(afterM) {
+			// Sorted: verify and stop.
+			sorted := SortF().Apply(before)
+			if !before.Equal(sorted) {
+				t.Fatalf("stuttered while unsorted: %v", before)
+			}
+			return
+		}
+		items = after
+	}
+	t.Fatal("adjacent swaps did not terminate")
+}
+
+func TestSortingPairStep(t *testing.T) {
+	p, err := NewSorting([]int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out of order: swap.
+	a, b := p.PairStep(Item{0, 20}, Item{1, 10}, nil)
+	if a != (Item{0, 10}) || b != (Item{1, 20}) {
+		t.Errorf("PairStep = %v,%v", a, b)
+	}
+	// In order: stutter.
+	a, b = p.PairStep(Item{0, 10}, Item{1, 20}, nil)
+	if a != (Item{0, 10}) || b != (Item{1, 20}) {
+		t.Errorf("stutter = %v,%v", a, b)
+	}
+	// Arguments in reverse index order keep positional identity.
+	a, b = p.PairStep(Item{1, 10}, Item{0, 20}, nil)
+	if a != (Item{1, 20}) || b != (Item{0, 10}) {
+		t.Errorf("reversed = %v,%v", a, b)
+	}
+}
+
+func TestInversionsH(t *testing.T) {
+	h := InversionsH()
+	// [7,5,6,4,3,2,1] at indexes 0..6 has 20 inversions (recomputed; the
+	// paper's Fig. 1 prints 14 — see EXPERIMENTS.md E1).
+	before, after, _, _ := PaperFig1States()
+	if got := h.Value(itemsOf(InitialItems(before)...)); got != 20 {
+		t.Errorf("h(before) = %g, want 20", got)
+	}
+	if got := h.Value(itemsOf(InitialItems(after)...)); got != 17 {
+		t.Errorf("h(after) = %g, want 17", got)
+	}
+	if got := h.Value(itemsOf(Item{0, 1}, Item{1, 2})); got != 0 {
+		t.Errorf("sorted h = %g", got)
+	}
+}
+
+// The substance of Fig. 1: the out-of-order-pairs objective violates the
+// local-to-global property. Exhaustive search proves no violation exists
+// for n ≤ 4 and exhibits one at n = 5.
+func TestFig1InversionsViolation(t *testing.T) {
+	for n := 3; n <= 4; n++ {
+		if v := FindInversionsL2GViolation(n); v != nil {
+			t.Errorf("unexpected violation at n=%d: %v", n, v)
+		}
+	}
+	v := FindInversionsL2GViolation(5)
+	if v == nil {
+		t.Fatal("no violation found at n=5")
+	}
+	// Independently verify the reported counterexample.
+	if v.InvB1 >= v.InvB0 {
+		t.Errorf("B did not improve: %v", v)
+	}
+	if v.InvU1 <= v.InvU0 {
+		t.Errorf("union did not worsen: %v", v)
+	}
+	// And through the Variant interface.
+	h := InversionsH()
+	b0 := itemsOf(pick(v.Before, v.BIndexes)...)
+	b1 := itemsOf(pick(v.After, v.BIndexes)...)
+	u0 := itemsOf(InitialItems(v.Before)...)
+	u1 := itemsOf(InitialItems(v.After)...)
+	if !(h.Value(b1) < h.Value(b0)) {
+		t.Errorf("variant disagrees on B: %g vs %g", h.Value(b1), h.Value(b0))
+	}
+	if !(h.Value(u1) > h.Value(u0)) {
+		t.Errorf("variant disagrees on union: %g vs %g", h.Value(u1), h.Value(u0))
+	}
+	// f is conserved on B (same indexes, same values).
+	f := SortF()
+	if !f.Apply(b0).Equal(f.Apply(b1)) {
+		t.Error("counterexample does not conserve f on B")
+	}
+}
+
+func pick(values []int, indexes []int) []Item {
+	out := make([]Item, len(indexes))
+	for i, ix := range indexes {
+		out[i] = Item{Index: ix, Value: values[ix]}
+	}
+	return out
+}
+
+// The paper's replacement objective has the property (no violation up to
+// n = 5, exhaustively).
+func TestDisplacementHasL2G(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		if v := VerifyDisplacementL2G(n); v != nil {
+			t.Errorf("squared-displacement violated at n=%d: %v", n, v)
+		}
+	}
+}
+
+func TestDisplacementH(t *testing.T) {
+	p, err := NewSorting([]int{30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.H()
+	// ord: 10→0, 20→1, 30→2. State [30,10,20]: (0−2)²+(1−0)²+(2−1)² = 6.
+	if got := h.Value(itemsOf(InitialItems([]int{30, 10, 20})...)); got != 6 {
+		t.Errorf("h = %g, want 6", got)
+	}
+	if got := h.Value(itemsOf(InitialItems([]int{10, 20, 30})...)); got != 0 {
+		t.Errorf("h(sorted) = %g, want 0", got)
+	}
+}
+
+func TestSortingVariantL2GRandomized(t *testing.T) {
+	// Randomized check of (7) for the squared-displacement variant via
+	// the core checker, with sorting-specific step generators.
+	vals := []int{0, 1, 2, 3, 4, 5, 6}
+	p, err := NewSorting(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	gen := func(r *rand.Rand) (ms.Multiset[Item], ms.Multiset[Item]) {
+		k := 2 + r.Intn(4)
+		idxs := r.Perm(7)[:k]
+		valsPerm := r.Perm(7)[:k]
+		group := make([]Item, k)
+		for i := range group {
+			group[i] = Item{Index: idxs[i], Value: valsPerm[i]}
+		}
+		after := p.GroupStep(group, r)
+		return ms.New(p.Cmp(), group...), ms.New(p.Cmp(), after...)
+	}
+	if v := core.CheckLocalToGlobal(SortF(), p.H(), p.Equal, gen, gen, 800, 0, rng); v != nil {
+		t.Errorf("displacement variant flagged: %v", v)
+	}
+}

@@ -1,0 +1,318 @@
+// Package runtime is an asynchronous, message-passing realization of the
+// paper's algorithms: one goroutine per agent, channels as communication
+// links, and an environment that toggles link availability while the
+// agents run.
+//
+// It complements the round-based engine in internal/sim: sim realizes the
+// paper's synchronous-partition execution model exactly, while this
+// package demonstrates the remark in §4.5 that the step relation "can be
+// easily implemented by asynchronous message passing". There is no round
+// structure here: agents gossip whenever they like over whatever links the
+// environment currently allows, and the conservation law plus variant
+// descent still carry the system to f(S(0)).
+//
+// Protocol (push-pull gossip with a busy guard):
+//
+//   - an initiating agent picks a random neighbour whose link is up and
+//     sends its state together with a reply channel;
+//   - the partner — unless it is itself mid-exchange — computes
+//     PairStep(initiator, partner), adopts its half, and replies with the
+//     initiator's half; a busy partner replies "busy" and nothing changes;
+//   - while awaiting the reply, the initiator answers its own inbox with
+//     "busy" so that two agents initiating at each other can never
+//     deadlock.
+//
+// The pair transition is atomic at the partner, and the initiator admits
+// no other exchange while its half is in flight, so the two-agent multiset
+// transition is exactly a PairStep of the problem — i.e. a D-step. The
+// global multiset passes through transient states where one half has been
+// adopted and the other is in flight; conservation is therefore asserted
+// at quiescence, not per-interleaving.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	ms "repro/internal/multiset"
+)
+
+// Options configures an asynchronous run.
+type Options struct {
+	// Seed drives neighbour selection and link churn.
+	Seed int64
+	// LinkUpProbability is the chance a link is up each time the
+	// environment refreshes (1.0 = static network).
+	LinkUpProbability float64
+	// RefreshEvery is how many initiations pass between environment
+	// refreshes of link availability (default 16).
+	RefreshEvery int
+	// MaxOps bounds the total number of initiated exchanges (default
+	// 1_000_000).
+	MaxOps int
+	// Timeout bounds wall-clock time (default 10s).
+	Timeout time.Duration
+}
+
+// Result reports an asynchronous run.
+type Result[T any] struct {
+	// Converged reports whether the final multiset equals f(S(0)).
+	Converged bool
+	// Ops counts initiated exchanges (including busy rejections).
+	Ops int
+	// ProperSteps counts exchanges that changed the pair's multiset.
+	ProperSteps int
+	// Final holds the final (positional) agent states.
+	Final []T
+	// Target is f(S(0)).
+	Target ms.Multiset[T]
+}
+
+type request[T any] struct {
+	state T
+	reply chan response[T]
+}
+
+type response[T any] struct {
+	busy  bool
+	state T
+}
+
+// linkTable is the shared environment state: which links are currently
+// up. Agents consult it before initiating; it is refreshed concurrently.
+type linkTable struct {
+	mu sync.RWMutex
+	up []bool
+}
+
+func (lt *linkTable) isUp(id int) bool {
+	lt.mu.RLock()
+	defer lt.mu.RUnlock()
+	return lt.up[id]
+}
+
+func (lt *linkTable) refresh(p float64, rng *rand.Rand) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for i := range lt.up {
+		lt.up[i] = rng.Float64() < p
+	}
+}
+
+// Run executes problem p over graph g from the given initial states using
+// one goroutine per agent, until the observed state multiset equals
+// f(S(0)) or a budget is exhausted. The final states are authoritative
+// (gathered after all agents have stopped), so the convergence verdict is
+// exact even though progress observation is approximate.
+func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*Result[T], error) {
+	n := g.N()
+	if len(initial) != n {
+		return nil, fmt.Errorf("runtime: %d initial states for %d agents", len(initial), n)
+	}
+	if n == 0 {
+		return nil, errors.New("runtime: empty system")
+	}
+	if opts.RefreshEvery <= 0 {
+		opts.RefreshEvery = 16
+	}
+	if opts.MaxOps <= 0 {
+		opts.MaxOps = 1_000_000
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.LinkUpProbability <= 0 {
+		opts.LinkUpProbability = 1
+	}
+
+	cmp := p.Cmp()
+	target := p.F().Apply(ms.New(cmp, initial...))
+	res := &Result[T]{Target: target}
+	if p.Equal(ms.New(cmp, initial...), target) {
+		res.Converged = true
+		res.Final = append([]T(nil), initial...)
+		return res, nil
+	}
+
+	links := &linkTable{up: make([]bool, g.M())}
+	envRng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+	links.refresh(opts.LinkUpProbability, envRng)
+
+	// Shared observation board: agents post their state after every
+	// adoption; the supervisor watches it for apparent convergence.
+	type slot struct {
+		mu sync.Mutex
+		v  T
+	}
+	board := make([]*slot, n)
+	for i := range board {
+		board[i] = &slot{v: initial[i]}
+	}
+	post := func(i int, v T) {
+		board[i].mu.Lock()
+		board[i].v = v
+		board[i].mu.Unlock()
+	}
+	view := func() ms.Multiset[T] {
+		vals := make([]T, n)
+		for i := range vals {
+			board[i].mu.Lock()
+			vals[i] = board[i].v
+			board[i].mu.Unlock()
+		}
+		return ms.New(cmp, vals...)
+	}
+
+	inboxes := make([]chan request[T], n)
+	for i := range inboxes {
+		inboxes[i] = make(chan request[T], n)
+	}
+
+	// Neighbour/edge ids per agent for link checks.
+	type nb struct{ agent, edge int }
+	neighbours := make([][]nb, n)
+	for id, e := range g.Edges() {
+		neighbours[e.A] = append(neighbours[e.A], nb{e.B, id})
+		neighbours[e.B] = append(neighbours[e.B], nb{e.A, id})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+	defer cancel()
+
+	var opCount, properCount int64
+	var countMu sync.Mutex
+	budgetLeft := func() bool {
+		countMu.Lock()
+		defer countMu.Unlock()
+		return int(opCount) < opts.MaxOps
+	}
+
+	finals := make([]T, n)
+	var wg sync.WaitGroup
+	for a := 0; a < n; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			my := initial[a]
+			defer func() { finals[a] = my }()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(a)*7919))
+			inbox := inboxes[a]
+
+			serve := func(req request[T]) {
+				na, nb := p.PairStep(req.state, my, rng)
+				my = nb
+				post(a, my)
+				req.reply <- response[T]{state: na}
+			}
+
+			for {
+				// Serve anything pending first.
+				select {
+				case <-ctx.Done():
+					return
+				case req := <-inbox:
+					serve(req)
+					continue
+				default:
+				}
+				if !budgetLeft() {
+					// Budget exhausted: keep serving so peers can finish,
+					// until cancellation.
+					select {
+					case <-ctx.Done():
+						return
+					case req := <-inbox:
+						serve(req)
+					}
+					continue
+				}
+				// Initiate with a random up-neighbour.
+				if len(neighbours[a]) == 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case req := <-inbox:
+						serve(req)
+					}
+					continue
+				}
+				pick := neighbours[a][rng.Intn(len(neighbours[a]))]
+				countMu.Lock()
+				opCount++
+				if int(opCount)%opts.RefreshEvery == 0 {
+					links.refresh(opts.LinkUpProbability, envRng)
+				}
+				countMu.Unlock()
+				if !links.isUp(pick.edge) {
+					continue
+				}
+				replyCh := make(chan response[T], 1)
+				select {
+				case inboxes[pick.agent] <- request[T]{state: my, reply: replyCh}:
+				case <-ctx.Done():
+					return
+				}
+				// Await the reply; answer own inbox with busy meanwhile
+				// (prevents initiator-initiator deadlock).
+				before := my
+			awaitReply:
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case r := <-replyCh:
+						if !r.busy {
+							my = r.state
+							post(a, my)
+							if cmp(before, my) != 0 {
+								countMu.Lock()
+								properCount++
+								countMu.Unlock()
+							}
+						}
+						break awaitReply
+					case req := <-inbox:
+						req.reply <- response[T]{busy: true}
+					}
+				}
+			}
+		}(a)
+	}
+
+	// Supervisor: watch the board for apparent convergence, then cancel.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			if p.Equal(view(), target) {
+				cancel()
+				return
+			}
+			if !budgetLeft() {
+				cancel()
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	<-done
+
+	res.Final = finals
+	res.Ops = int(opCount)
+	res.ProperSteps = int(properCount)
+	res.Converged = p.Equal(ms.New(cmp, finals...), target)
+	return res, nil
+}

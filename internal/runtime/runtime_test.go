@@ -1,0 +1,273 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	ms "repro/internal/multiset"
+	"repro/internal/problems"
+)
+
+func opts() Options {
+	return Options{Seed: 1, LinkUpProbability: 1, Timeout: 20 * time.Second}
+}
+
+func TestMinAsync(t *testing.T) {
+	g := graph.Ring(8)
+	vals := []int{9, 4, 7, 1, 8, 2, 6, 5}
+	res, err := Run[int](problems.NewMin(), g, vals, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: final=%v after %d ops", res.Final, res.Ops)
+	}
+	for _, v := range res.Final {
+		if v != 1 {
+			t.Errorf("final = %v", res.Final)
+		}
+	}
+	if res.ProperSteps == 0 {
+		t.Error("no proper steps recorded")
+	}
+}
+
+func TestMinAsyncUnderChurn(t *testing.T) {
+	g := graph.Ring(8)
+	vals := []int{9, 4, 7, 1, 8, 2, 6, 5}
+	o := opts()
+	o.LinkUpProbability = 0.3
+	res, err := Run[int](problems.NewMin(), g, vals, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge under churn: %v", res.Final)
+	}
+}
+
+func TestSumAsyncConservesTotal(t *testing.T) {
+	// Sum over the complete graph: the paper's §4.2 assumption. The final
+	// multiset must be exactly {total, 0, …, 0} — conservation at
+	// quiescence despite transiently inconsistent views.
+	g := graph.Complete(6)
+	vals := []int{3, 1, 5, 2, 7, 4} // total 22
+	res, err := Run[int](problems.NewSum(), g, vals, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("sum did not converge: %v", res.Final)
+	}
+	if !ms.OfInts(res.Final...).Equal(ms.OfInts(22, 0, 0, 0, 0, 0)) {
+		t.Errorf("final = %v, want {22,0,0,0,0,0}", res.Final)
+	}
+}
+
+func TestAverageAsync(t *testing.T) {
+	g := graph.Complete(5)
+	vals := []float64{1, 2, 3, 4, 10}
+	p := problems.NewAverage(1e-6)
+	res, err := Run[float64](p, g, vals, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("average did not converge: %v", res.Final)
+	}
+	for _, v := range res.Final {
+		if d := v - 4; d > 1e-5 || d < -1e-5 {
+			t.Errorf("final value %g far from mean 4", v)
+		}
+	}
+}
+
+func TestSortingAsync(t *testing.T) {
+	vals := []int{4, 1, 3, 0, 2}
+	p, err := problems.NewSorting(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Line(5)
+	res, err := Run[problems.Item](p, g, problems.InitialItems(vals), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("sorting did not converge: %v", res.Final)
+	}
+	for i, it := range res.Final {
+		if it.Index != i || it.Value != i {
+			t.Errorf("final[%d] = %v", i, it)
+		}
+	}
+}
+
+func TestHullAsync(t *testing.T) {
+	pts := problems.Fig2Configuration()
+	p := problems.NewHull(pts)
+	g := graph.Ring(len(pts))
+	res, err := Run[problems.HullState](p, g, problems.InitialHulls(pts), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("hull did not converge asynchronously")
+	}
+}
+
+func TestMinPairAsync(t *testing.T) {
+	vals := []int{3, 5, 3, 7}
+	p := problems.NewMinPair(len(vals), 10)
+	g := graph.Complete(4)
+	res, err := Run[problems.Pair](p, g, problems.InitialPairs(vals), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("min-pair did not converge: %v", res.Final)
+	}
+	for _, pr := range res.Final {
+		if pr != (problems.Pair{X: 3, Y: 5}) {
+			t.Errorf("final = %v", res.Final)
+		}
+	}
+}
+
+func TestAlreadyConvergedAsync(t *testing.T) {
+	g := graph.Ring(3)
+	res, err := Run[int](problems.NewMin(), g, []int{2, 2, 2}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Ops != 0 {
+		t.Errorf("converged=%v ops=%d", res.Converged, res.Ops)
+	}
+}
+
+func TestValidationAsync(t *testing.T) {
+	g := graph.Ring(3)
+	if _, err := Run[int](problems.NewMin(), g, []int{1}, opts()); err == nil {
+		t.Error("mismatched state count accepted")
+	}
+	if _, err := Run[int](problems.NewMin(), graph.Line(0), nil, opts()); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestBudgetStops(t *testing.T) {
+	// An impossible goal (isolated vertices) must stop at the op budget.
+	g, err := graph.New("islands", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts()
+	o.MaxOps = 50
+	o.Timeout = 2 * time.Second
+	res, err := Run[int](problems.NewMin(), g, []int{3, 1, 2, 4}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("converged without any edges")
+	}
+}
+
+func TestAsyncDeterministicConvergenceValue(t *testing.T) {
+	// Regardless of interleaving, min consensus must land on the same
+	// value every run (the target is interleaving-independent).
+	g := graph.Complete(6)
+	vals := []int{8, 3, 9, 5, 4, 7}
+	for seed := int64(0); seed < 5; seed++ {
+		o := opts()
+		o.Seed = seed
+		res, err := Run[int](problems.NewMin(), g, vals, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d did not converge", seed)
+		}
+		for _, v := range res.Final {
+			if v != 3 {
+				t.Fatalf("seed %d final %v", seed, res.Final)
+			}
+		}
+	}
+}
+
+func TestSumAsyncUnderChurn(t *testing.T) {
+	// The §4.2 problem on its required complete graph with links flapping:
+	// conservation at quiescence must still hold exactly.
+	g := graph.Complete(5)
+	vals := []int{4, 1, 6, 2, 7} // total 20
+	o := opts()
+	o.LinkUpProbability = 0.5
+	o.Timeout = 30 * time.Second
+	res, err := Run[int](problems.NewSum(), g, vals, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("sum did not converge under churn: %v", res.Final)
+	}
+	total := 0
+	for _, v := range res.Final {
+		total += v
+	}
+	if total != 20 {
+		t.Fatalf("conservation broken: final %v sums to %d", res.Final, total)
+	}
+}
+
+func TestSetUnionAsync(t *testing.T) {
+	g := graph.Ring(6)
+	init := []problems.Set{
+		problems.SetOf(0), problems.SetOf(1), problems.SetOf(2),
+		problems.SetOf(3), problems.SetOf(4), problems.SetOf(5),
+	}
+	res, err := Run[problems.Set](problems.NewSetUnion(), g, init, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("set-union async did not converge: %v", res.Final)
+	}
+	want := problems.SetOf(0, 1, 2, 3, 4, 5)
+	for _, s := range res.Final {
+		if s != want {
+			t.Errorf("final = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestRangeAsync(t *testing.T) {
+	g := graph.Complete(5)
+	vals := []int{9, 4, 7, 1, 8}
+	res, err := Run[problems.Tuple[int, int]](problems.NewRange(16), g,
+		problems.InitialTuples(vals), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("range async did not converge: %v", res.Final)
+	}
+	want := problems.Tuple[int, int]{A: 1, B: 9}
+	for _, v := range res.Final {
+		if v != want {
+			t.Errorf("final = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestGCDAsync(t *testing.T) {
+	g := graph.Line(5)
+	res, err := Run[int](problems.NewGCD(), g, []int{12, 18, 30, 48, 6}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Final[0] != 6 {
+		t.Fatalf("gcd async: converged=%v final=%v", res.Converged, res.Final)
+	}
+}

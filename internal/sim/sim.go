@@ -1,0 +1,385 @@
+// Package sim is the round-based simulation engine for dynamic distributed
+// systems, implementing the paper's execution model (§2.1).
+//
+// A system transition is either an environment transition or an agents
+// transition; the engine alternates them. Each round:
+//
+//  1. the environment transitions (env.Environment.Step), yielding the set
+//     of available edges and enabled agents;
+//  2. the partition π of agents is derived: the connected components of
+//     the enabled subgraph (a disabled agent is a singleton group that
+//     takes no action — it "executes no actions and does not change
+//     state");
+//  3. every group in π executes one collaborative step of R concurrently
+//     (one goroutine per group — groups are disjoint, so the paper's
+//     "disjoint sets of agents can execute the algorithm concurrently" is
+//     realized literally).
+//
+// Self-similarity is structural: a group step sees nothing but the states
+// of the group's own members, and the same GroupStep code runs for every
+// group of every size.
+//
+// The engine doubles as a runtime verifier. With Options.CheckSteps it
+// checks that every executed group step is a D-step (proof obligation
+// "R implements D" of §3.7), and it always monitors the conservation law
+// f(S) = S* (§3.2) and the monotone descent of the variant h on the global
+// state. Violations are recorded in the Result and fail tests.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/graph"
+	"repro/internal/logic"
+	ms "repro/internal/multiset"
+)
+
+// Mode selects how groups execute steps each round.
+type Mode int
+
+const (
+	// ComponentMode gives every connected component one collaborative
+	// group step per round (the fastest refinement of D the environment
+	// allows — "efficient computations in benign environments").
+	ComponentMode Mode = iota
+	// PairwiseMode restricts interaction to a random maximal matching
+	// over the available edges, one PairStep per matched edge: classic
+	// gossip, the minimal refinement. Used by the ablation experiments
+	// and by problems (like sum) whose environment assumptions are
+	// stated pairwise.
+	PairwiseMode
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ComponentMode:
+		return "component"
+	case PairwiseMode:
+		return "pairwise"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// MaxRounds bounds the run; 0 means the DefaultMaxRounds.
+	MaxRounds int
+	// Seed drives all randomness (environment and steps); runs are
+	// reproducible bit for bit.
+	Seed int64
+	// Mode selects component-wide or pairwise steps.
+	Mode Mode
+	// CheckSteps verifies every group step is a D-step (slower; on in
+	// tests, off in benchmarks unless measuring the monitor).
+	CheckSteps bool
+	// HEps is the strict-decrease slack for D-step checking (0 for exact
+	// integer variants; geometry problems pass a small tolerance).
+	HEps float64
+	// RecordH records the global h value after every round.
+	RecordH bool
+	// StopOnConverged stops as soon as the state multiset equals the
+	// target f(S(0)). When false the run continues to MaxRounds,
+	// verifying stability of the goal state (spec (4)).
+	StopOnConverged bool
+	// OnRound, when non-nil, is called after every round with live
+	// progress — used by examples and the experiment harness to trace
+	// runs without retaining full traces.
+	OnRound func(RoundInfo)
+	// AdversaryFeedback, when the environment is an *env.Adversary, wires
+	// the adversary's usefulness oracle to live agent state: an edge is
+	// "useful" (and therefore cut first) exactly when its endpoints
+	// currently hold different states. This realizes the paper's
+	// strongest opponent — one that watches the computation — while the
+	// fairness window keeps assumption (2) intact.
+	AdversaryFeedback bool
+}
+
+// RoundInfo is the per-round progress report passed to Options.OnRound.
+type RoundInfo struct {
+	// Round is the round just executed (0-based).
+	Round int
+	// ActiveGroups is the number of groups (components or matched pairs)
+	// that could act this round.
+	ActiveGroups int
+	// ProperSteps is how many of them changed state.
+	ProperSteps int
+	// H is the global variant value after the round.
+	H float64
+	// Converged reports whether the state equals the target.
+	Converged bool
+}
+
+// DefaultMaxRounds bounds runs whose Options leave MaxRounds zero.
+const DefaultMaxRounds = 10_000
+
+// Result reports a simulation run.
+type Result[T any] struct {
+	// Converged reports whether the state reached the target f(S(0)).
+	Converged bool
+	// Round is the first round at which the target held (or the last
+	// round executed when not converged).
+	Round int
+	// Rounds is the total number of rounds executed.
+	Rounds int
+	// GroupSteps counts proper (non-stutter) group steps.
+	GroupSteps int
+	// Messages estimates communication: 2(|B|−1) per proper component
+	// step (gather + scatter along a spanning tree), 2 per proper pair
+	// step.
+	Messages int
+	// Violations lists monitor failures (empty on a correct run).
+	Violations []string
+	// HTrace is the per-round global h (when Options.RecordH).
+	HTrace []float64
+	// Final holds the final agent states (positional).
+	Final []T
+	// Target is f(S(0)).
+	Target ms.Multiset[T]
+	// Probe reports the empirical fairness of the environment over the
+	// run — whether assumption (2) actually held.
+	Probe *env.FairnessProbe
+}
+
+// Run simulates problem p over environment e from the given initial
+// (positional) agent states.
+func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options) (*Result[T], error) {
+	g := e.Graph()
+	if len(initial) != g.N() {
+		return nil, fmt.Errorf("sim: %d initial states for %d agents", len(initial), g.N())
+	}
+	if g.N() == 0 {
+		return nil, errors.New("sim: empty system")
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	states := make([]T, len(initial))
+	copy(states, initial)
+	cmp := p.Cmp()
+	f, h := p.F(), p.H()
+
+	target := f.Apply(ms.New(cmp, states...))
+	res := &Result[T]{Target: target, Probe: env.NewFairnessProbe(g.M())}
+
+	if opts.AdversaryFeedback {
+		if ad, ok := e.(*env.Adversary); ok {
+			ad.SetUseful(func(edge graph.Edge) float64 {
+				if cmp(states[edge.A], states[edge.B]) != 0 {
+					return 1
+				}
+				return 0
+			})
+		}
+	}
+
+	snapshot := func() ms.Multiset[T] { return ms.New(cmp, states...) }
+	lastH := h.Value(snapshot())
+
+	if p.Equal(snapshot(), target) {
+		res.Converged = true
+	}
+
+	round := 0
+	for ; round < maxRounds; round++ {
+		if res.Converged && opts.StopOnConverged {
+			break
+		}
+		// Environment transition.
+		es := e.Step(round, rng)
+		res.Probe.Observe(es)
+
+		// Agents transition: groups step concurrently.
+		stepsBefore := res.GroupSteps
+		var activeGroups int
+		switch opts.Mode {
+		case PairwiseMode:
+			activeGroups = res.stepPairs(p, g.Edges(), es, states, rng, opts)
+		default:
+			activeGroups = res.stepComponents(p, e, es, states, rng, opts)
+		}
+
+		// Global monitors: conservation law and variant descent.
+		now := snapshot()
+		if !p.Equal(f.Apply(now), target) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("round %d: conservation law violated: f(S) ≠ S*", round))
+		}
+		nowH := h.Value(now)
+		if nowH > lastH+opts.HEps {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("round %d: variant increased %g → %g", round, lastH, nowH))
+		}
+		lastH = nowH
+		if opts.RecordH {
+			res.HTrace = append(res.HTrace, nowH)
+		}
+
+		if !res.Converged && p.Equal(now, target) {
+			res.Converged = true
+			res.Round = round + 1
+		}
+		if opts.OnRound != nil {
+			opts.OnRound(RoundInfo{
+				Round: round, ActiveGroups: activeGroups,
+				ProperSteps: res.GroupSteps - stepsBefore,
+				H:           nowH, Converged: res.Converged,
+			})
+		}
+	}
+	res.Rounds = round
+	if !res.Converged {
+		res.Round = round
+	}
+	res.Final = states
+	return res, nil
+}
+
+// stepComponents runs one ComponentMode round: every connected component
+// of up agents executes one group step, concurrently (one goroutine per
+// group; groups are disjoint, so writes never overlap).
+func (res *Result[T]) stepComponents(p core.Problem[T], e env.Environment,
+	es env.State, states []T, rng *rand.Rand, opts Options) int {
+	g := e.Graph()
+	comps := g.Components(es.EdgeUp, es.AgentUp)
+
+	type groupResult struct {
+		members []int
+		before  []T
+		after   []T
+	}
+	results := make([]groupResult, 0, len(comps))
+	for _, comp := range comps {
+		// Disabled agents form singleton components that take no action;
+		// any component containing a down agent is necessarily that
+		// singleton (Components never joins down agents).
+		if len(comp) == 1 && es.AgentUp != nil && !es.AgentUp[comp[0]] {
+			continue
+		}
+		before := make([]T, len(comp))
+		for i, a := range comp {
+			before[i] = states[a]
+		}
+		results = append(results, groupResult{members: comp, before: before})
+	}
+
+	var wg sync.WaitGroup
+	for i := range results {
+		gr := &results[i]
+		// Deterministic per-group randomness independent of goroutine
+		// scheduling: derive a child seed from the master stream in group
+		// order (groups are deterministically ordered by smallest member).
+		childSeed := rng.Int63()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gr.after = p.GroupStep(gr.before, rand.New(rand.NewSource(childSeed)))
+		}()
+	}
+	wg.Wait()
+
+	cmp := p.Cmp()
+	for _, gr := range results {
+		beforeM := ms.New(cmp, gr.before...)
+		afterM := ms.New(cmp, gr.after...)
+		if opts.CheckSteps {
+			if v := core.CheckDStep(p.F(), p.H(), p.Equal, beforeM, afterM, opts.HEps); !v.OK {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("group %v: %v", gr.members, v))
+			}
+		}
+		if !p.Equal(beforeM, afterM) {
+			res.GroupSteps++
+			res.Messages += 2 * (len(gr.members) - 1)
+		}
+		for i, a := range gr.members {
+			states[a] = gr.after[i]
+		}
+	}
+	return len(results)
+}
+
+// stepPairs runs one PairwiseMode round: a random maximal matching over
+// the available edges; each matched pair executes one PairStep.
+func (res *Result[T]) stepPairs(p core.Problem[T], edges []graph.Edge,
+	es env.State, states []T, rng *rand.Rand, opts Options) int {
+	// Collect usable edges (available, both endpoints up).
+	usable := make([]int, 0, len(edges))
+	for id := range edges {
+		if es.EdgeUp != nil && !es.EdgeUp[id] {
+			continue
+		}
+		a, b := edges[id].A, edges[id].B
+		if es.AgentUp != nil && (!es.AgentUp[a] || !es.AgentUp[b]) {
+			continue
+		}
+		usable = append(usable, id)
+	}
+	rng.Shuffle(len(usable), func(i, j int) { usable[i], usable[j] = usable[j], usable[i] })
+	matched := make(map[int]bool, len(states))
+	pairs := 0
+	cmp := p.Cmp()
+	for _, id := range usable {
+		a, b := edges[id].A, edges[id].B
+		if matched[a] || matched[b] {
+			continue
+		}
+		matched[a], matched[b] = true, true
+		na, nb := p.PairStep(states[a], states[b], rng)
+		beforeM := ms.New(cmp, states[a], states[b])
+		afterM := ms.New(cmp, na, nb)
+		if opts.CheckSteps {
+			if v := core.CheckDStep(p.F(), p.H(), p.Equal, beforeM, afterM, opts.HEps); !v.OK {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("pair (%d,%d): %v", a, b, v))
+			}
+		}
+		if !p.Equal(beforeM, afterM) {
+			res.GroupSteps++
+			res.Messages += 2
+		}
+		states[a], states[b] = na, nb
+		pairs++
+	}
+	return pairs
+}
+
+// Converges is a convenience wrapper for tests and experiments: it runs
+// the simulation and reports whether it converged without violations,
+// with diagnostics when it did not.
+func Converges[T any](p core.Problem[T], e env.Environment, initial []T, opts Options) (*Result[T], error) {
+	res, err := Run(p, e, initial, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Violations) > 0 {
+		return res, fmt.Errorf("sim: %d monitor violations; first: %s", len(res.Violations), res.Violations[0])
+	}
+	return res, nil
+}
+
+// TraceH runs with RecordH and returns the h trajectory alongside the
+// result, ensuring the trace is monotone non-increasing (the global
+// reading of the improvement discipline) — a logic.Monotone check
+// packaged for experiments.
+func TraceH[T any](p core.Problem[T], e env.Environment, initial []T, opts Options) (*Result[T], error) {
+	opts.RecordH = true
+	res, err := Run(p, e, initial, opts)
+	if err != nil {
+		return nil, err
+	}
+	tr := logic.Trace[float64](res.HTrace)
+	if i := logic.MonotoneViolation(tr, func(v float64) float64 { return v }); i >= 0 {
+		return res, fmt.Errorf("sim: h trace increased at round %d", i)
+	}
+	return res, nil
+}
