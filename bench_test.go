@@ -77,6 +77,46 @@ func BenchmarkE11Ablation(b *testing.B) { benchSection(b, experiments.E11Ablatio
 // BenchmarkE12Fairness regenerates the fairness ablation.
 func BenchmarkE12Fairness(b *testing.B) { benchSection(b, experiments.E12Fairness) }
 
+// --- Round-engine hot-path benchmarks (allocation budget) ---
+//
+// The BenchmarkSim* pair measures the round-based engine itself — one full
+// simulated system per iteration with a FIXED seed, so every iteration
+// executes the identical round sequence and allocs/op is a stable budget
+// number. DESIGN.md records the before/after numbers for the
+// zero-allocation engine-core refactor.
+
+// BenchmarkSimComponentRing64 measures the ComponentMode hot path: min
+// consensus on a 64-ring at 50% edge availability.
+func BenchmarkSimComponentRing64(b *testing.B) {
+	g := Ring(64)
+	vals := rand.New(rand.NewSource(1)).Perm(256)[:64]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate[int](NewMin(), EdgeChurn(g, 0.5), vals,
+			Options{Seed: 1, StopOnConverged: true, MaxRounds: 100_000})
+		if err != nil || !res.Converged {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkSimPairwiseComplete32 measures the PairwiseMode hot path: sum
+// on K32 at 50% edge availability.
+func BenchmarkSimPairwiseComplete32(b *testing.B) {
+	g := Complete(32)
+	vals := rand.New(rand.NewSource(2)).Perm(128)[:32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate[int](NewSum(), EdgeChurn(g, 0.5), vals,
+			Options{Seed: 2, StopOnConverged: true, MaxRounds: 100_000, Mode: PairwiseMode})
+		if err != nil || !res.Converged {
+			b.Fatal("run failed")
+		}
+	}
+}
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkEngineRoundRing64 measures one simulated system per iteration:

@@ -1,0 +1,179 @@
+// Package engine is the shared core of the two execution engines — the
+// round-based simulator (internal/sim) and the asynchronous message-passing
+// runtime (internal/runtime).
+//
+// Both engines realize the same execution model (Chandy & Charpentier,
+// ICDCS 2007, §2.1): agents transitions interleave with environment
+// transitions, every agents transition must be a step of the relation D,
+// and the run is judged by the same pair of global properties — the
+// conservation law f(S) = S* (§3.2) and the monotone descent of the
+// variant h (§3.5). Before this package existed those monitors, the
+// convergence detector, and the deterministic seeding discipline were
+// implemented twice and had started to diverge; sim and runtime now build
+// on the primitives here:
+//
+//   - Monitor: conservation-law checking, variant-descent checking, and
+//     D-step verification (the proof obligation "R implements D" of §3.7)
+//     with the violation-reporting format both engines share;
+//   - Convergence: the target S* = f(S(0)) and first-reach detection;
+//   - Seeder: deterministic per-group child seeds drawn from the master
+//     stream in group order (so results are independent of goroutine
+//     scheduling), plus the per-agent and environment seed derivations the
+//     asynchronous runtime uses;
+//   - Pool: a persistent worker pool sized to GOMAXPROCS that replaces the
+//     goroutine-per-group-per-round pattern, engaging only above a
+//     group-count threshold so small systems run serially and
+//     allocation-free.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	ms "repro/internal/multiset"
+)
+
+// Monitor watches one run of either engine for violations of the paper's
+// two global invariants and verifies individual steps against the relation
+// D. It is NOT safe for concurrent use; engines observe from their
+// coordinating goroutine.
+type Monitor[T any] struct {
+	f     core.Function[T]
+	h     core.Variant[T]
+	equal func(a, b ms.Multiset[T]) bool
+	// hEps is the strict-decrease slack for D-step and descent checking (0
+	// for exact integer variants; geometry problems pass a tolerance).
+	hEps       float64
+	target     ms.Multiset[T]
+	lastH      float64
+	violations []string
+}
+
+// NewMonitor builds a Monitor for problem p from the initial state
+// multiset: the target S* = f(S(0)) is fixed here, and the variant
+// baseline is h(S(0)).
+func NewMonitor[T any](p core.Problem[T], initial ms.Multiset[T], hEps float64) *Monitor[T] {
+	m := &Monitor[T]{f: p.F(), h: p.H(), equal: p.Equal, hEps: hEps}
+	m.target = m.f.Apply(initial)
+	m.lastH = m.h.Value(initial)
+	return m
+}
+
+// Target returns the goal multiset S* = f(S(0)).
+func (m *Monitor[T]) Target() ms.Multiset[T] { return m.target }
+
+// ObserveRound checks the global state after a round: the conservation law
+// f(S) = S* and the monotone descent of h relative to the previous
+// observation. It returns the current h value.
+func (m *Monitor[T]) ObserveRound(round int, now ms.Multiset[T]) float64 {
+	if !m.equal(m.f.Apply(now), m.target) {
+		m.violations = append(m.violations,
+			fmt.Sprintf("round %d: conservation law violated: f(S) ≠ S*", round))
+	}
+	nowH := m.h.Value(now)
+	if nowH > m.lastH+m.hEps {
+		m.violations = append(m.violations,
+			fmt.Sprintf("round %d: variant increased %g → %g", round, m.lastH, nowH))
+	}
+	m.lastH = nowH
+	return nowH
+}
+
+// ObserveQuiescence checks the conservation law and the net variant
+// descent once, against the final state of a run whose intermediate states
+// are not observable (the asynchronous runtime: the global multiset passes
+// through transient states while a pair exchange is in flight, so the
+// invariants are asserted at quiescence).
+func (m *Monitor[T]) ObserveQuiescence(final ms.Multiset[T]) {
+	if !m.equal(m.f.Apply(final), m.target) {
+		m.violations = append(m.violations,
+			"quiescence: conservation law violated: f(S) ≠ S*")
+	}
+	if nowH := m.h.Value(final); nowH > m.lastH+m.hEps {
+		m.violations = append(m.violations,
+			fmt.Sprintf("quiescence: variant increased %g → %g", m.lastH, nowH))
+	}
+}
+
+// VerifyStep decides whether before → after is a step of the relation D
+// under the monitor's f, h, equality, and slack — proof obligation
+// "R implements D" as a runtime check.
+func (m *Monitor[T]) VerifyStep(before, after ms.Multiset[T]) core.StepVerdict {
+	return core.CheckDStep(m.f, m.h, m.equal, before, after, m.hEps)
+}
+
+// AddViolation records a formatted violation.
+func (m *Monitor[T]) AddViolation(format string, args ...any) {
+	m.violations = append(m.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns the violations recorded so far (nil on a clean run).
+func (m *Monitor[T]) Violations() []string { return m.violations }
+
+// Convergence detects the first time a run's state multiset reaches the
+// target S*.
+type Convergence[T any] struct {
+	equal     func(a, b ms.Multiset[T]) bool
+	target    ms.Multiset[T]
+	converged bool
+	round     int
+}
+
+// NewConvergence builds a detector for the given target under the given
+// multiset equality.
+func NewConvergence[T any](equal func(a, b ms.Multiset[T]) bool, target ms.Multiset[T]) *Convergence[T] {
+	return &Convergence[T]{equal: equal, target: target}
+}
+
+// Reached reports whether now equals the target, without recording
+// anything — the stateless probe used by pollers.
+func (c *Convergence[T]) Reached(now ms.Multiset[T]) bool { return c.equal(now, c.target) }
+
+// Observe records the state after `rounds` rounds (or operations) and
+// returns true exactly when this observation is the first to reach the
+// target.
+func (c *Convergence[T]) Observe(rounds int, now ms.Multiset[T]) bool {
+	if c.converged || !c.equal(now, c.target) {
+		return false
+	}
+	c.converged = true
+	c.round = rounds
+	return true
+}
+
+// Converged reports whether any observation reached the target.
+func (c *Convergence[T]) Converged() bool { return c.converged }
+
+// Round returns the observation index recorded at first reach (0 when the
+// target was never reached).
+func (c *Convergence[T]) Round() int { return c.round }
+
+// Seeder derives all of a run's randomness from one master seed so runs
+// are reproducible bit for bit regardless of scheduling.
+type Seeder struct {
+	master *rand.Rand
+}
+
+// NewSeeder builds a Seeder over the master stream for the given seed.
+func NewSeeder(seed int64) *Seeder {
+	return &Seeder{master: rand.New(rand.NewSource(seed))}
+}
+
+// Master returns the master stream: environment transitions, matchings,
+// and group-seed draws all consume from it in a deterministic order.
+func (s *Seeder) Master() *rand.Rand { return s.master }
+
+// GroupSeed draws the child seed for the next group in group order. Each
+// group's step runs on a private stream seeded from this value, so results
+// are independent of which worker executes the group and when.
+func (s *Seeder) GroupSeed() int64 { return s.master.Int63() }
+
+// AgentSeed derives the per-agent stream seed the asynchronous runtime
+// gives each agent goroutine (7919 is prime, so agent streams are spread
+// across the seed space).
+func AgentSeed(base int64, agent int) int64 { return base + int64(agent)*7919 }
+
+// EnvSeed derives the asynchronous runtime's environment (link-churn)
+// stream seed from the run seed.
+func EnvSeed(base int64) int64 { return base ^ 0x5eed }

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	ms "repro/internal/multiset"
+	"repro/internal/problems"
+)
+
+func TestPoolCoversEveryIndexExactlyOnce(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	p := NewPool(4, 1)
+	defer p.Close()
+	const n = 1000
+	var hits [n]atomic.Int32
+	for batch := 0; batch < 10; batch++ {
+		for i := range hits {
+			hits[i].Store(0)
+		}
+		p.Do(n, func(worker, i int) {
+			if worker < 0 || worker >= p.Size() {
+				t.Errorf("worker %d out of range [0,%d)", worker, p.Size())
+			}
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("batch %d: index %d executed %d times, want 1", batch, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolRunsSeriallyBelowThreshold(t *testing.T) {
+	p := NewPool(4, 100)
+	defer p.Close()
+	var order []int
+	p.Do(10, func(worker, i int) {
+		if worker != 0 {
+			t.Errorf("below-threshold batch ran on worker %d, want 0", worker)
+		}
+		order = append(order, i)
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial batch out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolWorkerScratchNeverShared(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	p := NewPool(4, 1)
+	defer p.Close()
+	// One counter per worker slot, incremented non-atomically: the race
+	// detector (tests run with -race in CI) fails this test if two
+	// concurrent callbacks ever share a worker index.
+	scratch := make([]int, p.Size())
+	p.Do(500, func(worker, i int) { scratch[worker]++ })
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != 500 {
+		t.Fatalf("scratch total = %d, want 500", total)
+	}
+}
+
+func TestPoolCloseWithoutUse(t *testing.T) {
+	p := NewPool(2, 1)
+	p.Close() // must not panic or leak
+}
+
+func TestMonitorCleanRound(t *testing.T) {
+	p := problems.NewMin()
+	initial := ms.OfInts(3, 1, 2)
+	m := NewMonitor[int](p, initial, 0)
+	if !m.Target().Equal(ms.OfInts(1, 1, 1)) {
+		t.Fatalf("target = %v, want {1, 1, 1}", m.Target())
+	}
+	h := m.ObserveRound(0, ms.OfInts(1, 1, 2))
+	if len(m.Violations()) != 0 {
+		t.Fatalf("clean round produced violations: %v", m.Violations())
+	}
+	if h <= 0 {
+		t.Fatalf("h = %g, want positive while unconverged", h)
+	}
+}
+
+func TestMonitorFlagsConservationAndDescent(t *testing.T) {
+	p := problems.NewMin()
+	m := NewMonitor[int](p, ms.OfInts(3, 1, 2), 0)
+	m.ObserveRound(0, ms.OfInts(5, 5, 5)) // f changed AND h grew
+	v := m.Violations()
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want conservation + variant", v)
+	}
+	if !strings.Contains(v[0], "round 0: conservation law violated") {
+		t.Errorf("conservation message = %q", v[0])
+	}
+	if !strings.Contains(v[1], "round 0: variant increased") {
+		t.Errorf("variant message = %q", v[1])
+	}
+}
+
+func TestMonitorQuiescence(t *testing.T) {
+	p := problems.NewMin()
+	m := NewMonitor[int](p, ms.OfInts(3, 1, 2), 0)
+	m.ObserveQuiescence(ms.OfInts(1, 1, 1))
+	if len(m.Violations()) != 0 {
+		t.Fatalf("clean quiescence produced violations: %v", m.Violations())
+	}
+	m.ObserveQuiescence(ms.OfInts(2, 2, 2))
+	if len(m.Violations()) == 0 {
+		t.Fatal("non-conserving quiescence not flagged")
+	}
+}
+
+func TestMonitorVerifyStep(t *testing.T) {
+	p := problems.NewMin()
+	m := NewMonitor[int](p, ms.OfInts(3, 1, 2), 0)
+	if v := m.VerifyStep(ms.OfInts(3, 1), ms.OfInts(1, 1)); !v.OK {
+		t.Errorf("valid D-step rejected: %v", v)
+	}
+	if v := m.VerifyStep(ms.OfInts(3, 1), ms.OfInts(4, 1)); v.OK {
+		t.Error("f-breaking step accepted")
+	}
+	m.AddViolation("group %v: %v", []int{0, 1}, "boom")
+	if want := "group [0 1]: boom"; m.Violations()[0] != want {
+		t.Errorf("AddViolation = %q, want %q", m.Violations()[0], want)
+	}
+}
+
+func TestConvergenceFirstReach(t *testing.T) {
+	eq := func(a, b ms.Multiset[int]) bool { return a.Equal(b) }
+	c := NewConvergence(eq, ms.OfInts(1, 1))
+	if c.Observe(0, ms.OfInts(2, 1)) || c.Converged() {
+		t.Fatal("converged before reaching target")
+	}
+	if !c.Reached(ms.OfInts(1, 1)) {
+		t.Fatal("Reached is a stateless probe and must report true")
+	}
+	if c.Converged() {
+		t.Fatal("Reached must not record convergence")
+	}
+	if !c.Observe(5, ms.OfInts(1, 1)) {
+		t.Fatal("first reach not reported")
+	}
+	if c.Observe(6, ms.OfInts(1, 1)) {
+		t.Fatal("second reach reported as first")
+	}
+	if c.Round() != 5 {
+		t.Fatalf("Round = %d, want 5", c.Round())
+	}
+}
+
+func TestSeederMatchesRawStream(t *testing.T) {
+	s := NewSeeder(42)
+	want := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if got, w := s.GroupSeed(), want.Int63(); got != w {
+			t.Fatalf("draw %d: GroupSeed = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestAgentAndEnvSeedsAreStable(t *testing.T) {
+	// These derivations are part of the reproducibility contract shared
+	// with the asynchronous runtime: changing them silently reseeds every
+	// recorded run.
+	if got := AgentSeed(10, 3); got != 10+3*7919 {
+		t.Errorf("AgentSeed(10, 3) = %d", got)
+	}
+	if got := EnvSeed(10); got != 10^0x5eed {
+		t.Errorf("EnvSeed(10) = %d", got)
+	}
+	seen := map[int64]bool{}
+	for a := 0; a < 64; a++ {
+		s := AgentSeed(7, a)
+		if seen[s] {
+			t.Fatalf("agent seed collision at agent %d", a)
+		}
+		seen[s] = true
+	}
+}

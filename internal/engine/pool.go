@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for data-parallel group steps. It
+// replaces the goroutine-per-group-per-round pattern: worker goroutines
+// are started lazily on the first batch that meets the threshold and are
+// reused for every subsequent round, so the steady-state round loop
+// allocates nothing and pays no goroutine start-up cost.
+//
+// Below the threshold a batch runs serially on the caller's goroutine
+// (worker 0) — for the small systems the experiment sweeps simulate, the
+// per-group work is far cheaper than any hand-off.
+//
+// Do passes each callback a stable worker index in [0, Size()) so callers
+// can keep per-worker scratch (reusable rand.Rand states, buffers) without
+// locking: a given worker index never runs two callbacks concurrently.
+type Pool struct {
+	size      int
+	threshold int
+
+	startOnce sync.Once
+	tokens    chan struct{}
+	batch     poolBatch
+}
+
+type poolBatch struct {
+	n    int
+	fn   func(worker, i int)
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// NewPool builds a pool of size workers (≤ 0 means GOMAXPROCS) that
+// engages when a batch has at least threshold items (≤ 0 means always
+// engage). No goroutines are started until the first engaged batch.
+func NewPool(size, threshold int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{size: size, threshold: threshold}
+}
+
+// Size returns the number of worker slots (including the caller's slot 0).
+func (p *Pool) Size() int { return p.size }
+
+// Do runs fn(worker, i) for every i in [0, n) and returns when all calls
+// have finished. Calls may run concurrently across distinct worker
+// indices; the caller participates as worker 0. Do must not be called
+// concurrently with itself or after Close.
+func (p *Pool) Do(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.size <= 1 || n < p.threshold {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	p.startOnce.Do(p.start)
+	b := &p.batch
+	b.n = n
+	b.fn = fn
+	b.next.Store(0)
+	b.wg.Add(p.size - 1)
+	for w := 1; w < p.size; w++ {
+		p.tokens <- struct{}{}
+	}
+	b.drain(0)
+	b.wg.Wait()
+	b.fn = nil
+}
+
+func (p *Pool) start() {
+	// Workers range over a local copy of the channel: Close writes the
+	// field from the owning goroutine, which must not race with workers
+	// that are still starting up.
+	tokens := make(chan struct{})
+	p.tokens = tokens
+	for w := 1; w < p.size; w++ {
+		go func(worker int) {
+			for range tokens {
+				p.batch.drain(worker)
+				p.batch.wg.Done()
+			}
+		}(w)
+	}
+}
+
+func (b *poolBatch) drain(worker int) {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= b.n {
+			return
+		}
+		b.fn(worker, i)
+	}
+}
+
+// Close stops the workers. The pool must not be used afterwards. Closing a
+// pool that never engaged is a no-op.
+func (p *Pool) Close() {
+	p.startOnce.Do(func() { /* never started: nothing to stop */ })
+	if p.tokens != nil {
+		close(p.tokens)
+		p.tokens = nil
+	}
+}

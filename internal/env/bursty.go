@@ -22,6 +22,7 @@ type MarkovLinks struct {
 
 	state  []bool
 	inited bool
+	buf    stateBuf
 }
 
 // NewMarkovLinks builds a bursty-churn environment. The stationary
@@ -68,11 +69,8 @@ func (e *MarkovLinks) Step(_ int, rng *rand.Rand) State {
 			e.state[i] = true
 		}
 	}
-	s := State{EdgeUp: make([]bool, e.g.M()), AgentUp: make([]bool, e.g.N())}
+	s := e.buf.allUp(e.g)
 	copy(s.EdgeUp, e.state)
-	for i := range s.AgentUp {
-		s.AgentUp[i] = true
-	}
 	return s
 }
 
@@ -84,6 +82,8 @@ type DayNight struct {
 	g *graph.Graph
 	// DayRounds and NightRounds are the phase lengths.
 	DayRounds, NightRounds int
+
+	buf stateBuf
 }
 
 // NewDayNight builds the periodic environment.
@@ -113,13 +113,10 @@ func (e *DayNight) Day(round int) bool {
 
 // Step implements Environment.
 func (e *DayNight) Step(round int, _ *rand.Rand) State {
-	s := AllUp(e.g)
-	if !e.Day(round) {
-		for i := range s.EdgeUp {
-			s.EdgeUp[i] = false
-		}
+	if e.Day(round) {
+		return e.buf.allUp(e.g)
 	}
-	return s
+	return e.buf.edgesDown(e.g)
 }
 
 // Compose layers environments over the same graph: an edge is up only
@@ -127,6 +124,7 @@ func (e *DayNight) Step(round int, _ *rand.Rand) State {
 // up. Use it to combine, e.g., bursty links with power-lossy agents.
 type Compose struct {
 	layers []Environment
+	out    State
 }
 
 // NewCompose builds the conjunction of the given environments, which must
@@ -162,7 +160,14 @@ func (e *Compose) Graph() *graph.Graph { return e.layers[0].Graph() }
 
 // Step implements Environment.
 func (e *Compose) Step(round int, rng *rand.Rand) State {
-	out := e.layers[0].Step(round, rng).Clone()
+	first := e.layers[0].Step(round, rng)
+	if e.out.EdgeUp == nil {
+		e.out = first.Clone()
+	} else {
+		copy(e.out.EdgeUp, first.EdgeUp)
+		copy(e.out.AgentUp, first.AgentUp)
+	}
+	out := e.out
 	for _, l := range e.layers[1:] {
 		s := l.Step(round, rng)
 		for i := range out.EdgeUp {

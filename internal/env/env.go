@@ -76,9 +76,47 @@ func (s State) UpAgentCount() int {
 	return n
 }
 
+// stateBuf is the reusable State every environment hands out from Step.
+// The package contract (see State) is that consumers treat the slices as
+// read-only and copy what they retain, so an environment can repair one
+// buffer per round instead of allocating two slices — which keeps the
+// simulation engines' round loops allocation-free.
+type stateBuf struct {
+	s State
+}
+
+// allUp returns the buffer reset to every edge and agent enabled,
+// allocating only on first use.
+func (b *stateBuf) allUp(g *graph.Graph) State {
+	if b.s.EdgeUp == nil {
+		b.s = AllUp(g)
+		return b.s
+	}
+	for i := range b.s.EdgeUp {
+		b.s.EdgeUp[i] = true
+	}
+	for i := range b.s.AgentUp {
+		b.s.AgentUp[i] = true
+	}
+	return b.s
+}
+
+// edgesDown returns the buffer with every agent enabled and every edge
+// disabled.
+func (b *stateBuf) edgesDown(g *graph.Graph) State {
+	s := b.allUp(g)
+	for i := range s.EdgeUp {
+		s.EdgeUp[i] = false
+	}
+	return s
+}
+
 // Environment produces a sequence of environment states over a fixed
 // communication graph. Implementations are deterministic functions of the
-// supplied random source, so runs are reproducible from a seed.
+// supplied random source, so runs are reproducible from a seed. The State
+// returned by Step is owned by the environment and is typically the same
+// buffer repaired in place each round: consumers must finish with (or
+// copy) one round's State before requesting the next.
 type Environment interface {
 	// Name identifies the model in tables.
 	Name() string
@@ -124,6 +162,8 @@ type EdgeChurn struct {
 	g *graph.Graph
 	// P is the per-round, per-edge availability probability.
 	P float64
+
+	buf stateBuf
 }
 
 // NewEdgeChurn builds an EdgeChurn environment over g.
@@ -137,12 +177,9 @@ func (e *EdgeChurn) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
 func (e *EdgeChurn) Step(_ int, rng *rand.Rand) State {
-	s := State{EdgeUp: make([]bool, e.g.M()), AgentUp: make([]bool, e.g.N())}
+	s := e.buf.allUp(e.g)
 	for i := range s.EdgeUp {
 		s.EdgeUp[i] = rng.Float64() < e.P
-	}
-	for i := range s.AgentUp {
-		s.AgentUp[i] = true
 	}
 	return s
 }
@@ -157,6 +194,8 @@ type PowerLoss struct {
 	g *graph.Graph
 	// P is the per-round, per-agent outage probability.
 	P float64
+
+	buf stateBuf
 }
 
 // NewPowerLoss builds a PowerLoss environment over g.
@@ -170,7 +209,7 @@ func (e *PowerLoss) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
 func (e *PowerLoss) Step(_ int, rng *rand.Rand) State {
-	s := AllUp(e.g)
+	s := e.buf.allUp(e.g)
 	for i := range s.AgentUp {
 		s.AgentUp[i] = rng.Float64() >= e.P
 	}
@@ -192,6 +231,8 @@ type Partitioner struct {
 	Parts int
 	// HealthyRounds and PartitionRounds are the phase lengths.
 	HealthyRounds, PartitionRounds int
+
+	buf stateBuf
 }
 
 // NewPartitioner builds a Partitioner with the given phase structure.
@@ -230,7 +271,7 @@ func (e *Partitioner) Block(a int) int {
 
 // Step implements Environment.
 func (e *Partitioner) Step(round int, _ *rand.Rand) State {
-	s := AllUp(e.g)
+	s := e.buf.allUp(e.g)
 	if !e.Partitioned(round) {
 		return s
 	}
@@ -265,6 +306,14 @@ type Adversary struct {
 	Useful func(e graph.Edge) float64
 
 	lastEnabled []int // round at which each edge was last enabled
+	buf         stateBuf
+	order       []adversaryScore // reusable per-round scoring scratch
+}
+
+// adversaryScore pairs an edge id with the adversary's score for it.
+type adversaryScore struct {
+	id    int
+	score float64
 }
 
 // NewAdversary builds an Adversary cutting the given fraction of edges with
@@ -293,24 +342,23 @@ func (e *Adversary) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
 func (e *Adversary) Step(round int, rng *rand.Rand) State {
-	s := AllUp(e.g)
+	s := e.buf.allUp(e.g)
 	m := e.g.M()
 	cut := int(math.Round(e.CutFraction * float64(m)))
 	if cut > m {
 		cut = m
 	}
 	// Score edges: adversary cuts the most useful first.
-	type scored struct {
-		id    int
-		score float64
+	if e.order == nil {
+		e.order = make([]adversaryScore, m)
 	}
-	order := make([]scored, m)
+	order := e.order
 	for id := 0; id < m; id++ {
 		sc := rng.Float64() // tie-break / fallback
 		if e.Useful != nil {
 			sc += 1000 * e.Useful(e.g.Edge(id))
 		}
-		order[id] = scored{id, sc}
+		order[id] = adversaryScore{id, sc}
 	}
 	// Partial selection of the top `cut` by score.
 	for i := 0; i < cut; i++ {
@@ -347,6 +395,7 @@ func (e *Adversary) Step(round int, rng *rand.Rand) State {
 type Starver struct {
 	g       *graph.Graph
 	starved map[int]bool
+	buf     stateBuf
 }
 
 // NewStarver builds a Starver that permanently disables the given edge ids.
@@ -366,7 +415,7 @@ func (e *Starver) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
 func (e *Starver) Step(int, *rand.Rand) State {
-	s := AllUp(e.g)
+	s := e.buf.allUp(e.g)
 	for id := range e.starved {
 		s.EdgeUp[id] = false
 	}
@@ -381,7 +430,8 @@ func (e *Starver) Step(int, *rand.Rand) State {
 // collaborate at a time. It bounds the slow extreme of the adaptivity
 // spectrum in E4/E11.
 type RoundRobin struct {
-	g *graph.Graph
+	g   *graph.Graph
+	buf stateBuf
 }
 
 // NewRoundRobin builds a RoundRobin environment over g.
@@ -395,10 +445,7 @@ func (e *RoundRobin) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
 func (e *RoundRobin) Step(round int, _ *rand.Rand) State {
-	s := State{EdgeUp: make([]bool, e.g.M()), AgentUp: make([]bool, e.g.N())}
-	for i := range s.AgentUp {
-		s.AgentUp[i] = true
-	}
+	s := e.buf.edgesDown(e.g)
 	if e.g.M() > 0 {
 		s.EdgeUp[round%e.g.M()] = true
 	}
@@ -420,6 +467,7 @@ type Mobile struct {
 	pos    [][2]float64
 	dst    [][2]float64
 	inited bool
+	buf    stateBuf
 }
 
 // NewMobile builds a Mobile environment over the complete graph g (one edge
@@ -471,8 +519,9 @@ func (e *Mobile) Step(_ int, rng *rand.Rand) State {
 		e.pos[i][0] += dx / d * e.Speed
 		e.pos[i][1] += dy / d * e.Speed
 	}
-	s := AllUp(e.g)
-	for id, edge := range e.g.Edges() {
+	s := e.buf.allUp(e.g)
+	for id := 0; id < e.g.M(); id++ {
+		edge := e.g.Edge(id)
 		dx := e.pos[edge.A][0] - e.pos[edge.B][0]
 		dy := e.pos[edge.A][1] - e.pos[edge.B][1]
 		s.EdgeUp[id] = math.Hypot(dx, dy) <= e.Radius

@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -71,14 +74,54 @@ func initialValues(n int, seed int64) []int {
 	return vals
 }
 
+// forEachSeed runs body(s) for every seed index 0 ≤ s < n across a worker
+// pool bounded by GOMAXPROCS. Each seed owns its entire RNG stream (mk
+// closures build problem, environment, and options from the seed alone),
+// so fanning seeds out changes wall-clock time only: aggregation happens
+// afterwards in seed order and results stay bit-for-bit identical to the
+// sequential loop.
+func forEachSeed(n int, body func(s int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for s := 0; s < n; s++ {
+			body(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				body(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func medianRounds[T any](cfg Config, mk func(seed int64) (*sim.Result[T], error)) (float64, float64, error) {
+	results := make([]*sim.Result[T], cfg.Seeds)
+	errs := make([]error, cfg.Seeds)
+	forEachSeed(cfg.Seeds, func(s int) {
+		results[s], errs[s] = mk(int64(s) + 1)
+	})
 	var rounds metrics.Sample
 	converged := 0
 	for s := 0; s < cfg.Seeds; s++ {
-		res, err := mk(int64(s) + 1)
-		if err != nil {
-			return 0, 0, err
+		if errs[s] != nil {
+			return 0, 0, errs[s]
 		}
+		res := results[s]
 		if res.Converged {
 			converged++
 			rounds.AddInt(res.Round)
@@ -272,7 +315,7 @@ func E3Fig3(cfg Config) Section {
 	p := problems.NewHull(pts)
 	g := graph.Ring(len(pts))
 	res, err := sim.Run(p, env.NewEdgeChurn(g, 0.4), problems.InitialHulls(pts),
-		sim.Options{Seed: 3, StopOnConverged: true, HEps: 1e-9, MaxRounds: 5000})
+		sim.Options{ParallelThreshold: -1, Seed: 3, StopOnConverged: true, HEps: 1e-9, MaxRounds: 5000})
 	if err != nil || !res.Converged {
 		shape = false
 		b.WriteString(fmt.Sprintf("hull run failed: converged=%v err=%v\n", res != nil && res.Converged, err))
@@ -326,7 +369,7 @@ func E4Adaptivity(cfg Config) Section {
 			med, rate, err := medianRounds[int](cfg, func(seed int64) (*sim.Result[int], error) {
 				g := family.mk()
 				return sim.Run[int](problems.NewMin(), env.NewEdgeChurn(g, p), initialValues(n, seed),
-					sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
+					sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
 			})
 			if err != nil {
 				return Section{ID: "E4", Title: "adaptivity", Body: "error: " + err.Error()}
@@ -367,7 +410,7 @@ func E5Partition(cfg Config) Section {
 
 	// Permanent partition into 3 blocks.
 	e := env.NewPartitioner(g, 3, 0, 1<<30)
-	res, err := sim.Run[int](problems.NewMin(), e, vals, sim.Options{Seed: 1, MaxRounds: 30})
+	res, err := sim.Run[int](problems.NewMin(), e, vals, sim.Options{ParallelThreshold: -1, Seed: 1, MaxRounds: 30})
 	shape := err == nil && !res.Converged
 	blocks := metrics.NewTable("block", "members", "block minimum", "all members agree?")
 	per := (n + 2) / 3
@@ -405,7 +448,7 @@ func E5Partition(cfg Config) Section {
 	// the next period has length 0 — so use healthy=5).
 	healEnv := func() env.Environment { return env.NewPartitioner(g, 3, 5, 60) }
 	_ = heal
-	resHeal, err2 := sim.Run[int](problems.NewMin(), healEnv(), vals, sim.Options{Seed: 2, StopOnConverged: true, MaxRounds: 1000})
+	resHeal, err2 := sim.Run[int](problems.NewMin(), healEnv(), vals, sim.Options{ParallelThreshold: -1, Seed: 2, StopOnConverged: true, MaxRounds: 1000})
 	if err2 != nil || !resHeal.Converged {
 		shape = false
 	}
@@ -462,11 +505,11 @@ func E6Scale(cfg Config) Section {
 
 	addRow("min / ring, churn 0.5", func(n int, seed int64) (*sim.Result[int], error) {
 		return sim.Run[int](problems.NewMin(), env.NewEdgeChurn(graph.Ring(n), 0.5), initialValues(n, seed),
-			sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
+			sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
 	})
 	addRow("min / complete, churn 0.5", func(n int, seed int64) (*sim.Result[int], error) {
 		return sim.Run[int](problems.NewMin(), env.NewEdgeChurn(graph.Complete(n), 0.5), initialValues(n, seed),
-			sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
+			sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
 	})
 	addRow("min / hypercube, churn 0.5", func(n int, seed int64) (*sim.Result[int], error) {
 		d := 0
@@ -476,11 +519,11 @@ func E6Scale(cfg Config) Section {
 		g := graph.Hypercube(d)
 		vals := initialValues(g.N(), seed)
 		return sim.Run[int](problems.NewMin(), env.NewEdgeChurn(g, 0.5), vals,
-			sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
+			sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
 	})
 	addRow("min / binary tree, churn 0.5", func(n int, seed int64) (*sim.Result[int], error) {
 		return sim.Run[int](problems.NewMin(), env.NewEdgeChurn(graph.BinaryTree(n), 0.5), initialValues(n, seed),
-			sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
+			sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
 	})
 	addRow("gcd / ring, churn 0.5", func(n int, seed int64) (*sim.Result[int], error) {
 		vals := initialValues(n, seed)
@@ -488,11 +531,11 @@ func E6Scale(cfg Config) Section {
 			vals[i] = (vals[i] + 1) * 6
 		}
 		return sim.Run[int](problems.NewGCD(), env.NewEdgeChurn(graph.Ring(n), 0.5), vals,
-			sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
+			sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 60_000})
 	})
 	addRow("sum / complete, pairwise, churn 0.5", func(n int, seed int64) (*sim.Result[int], error) {
 		return sim.Run[int](problems.NewSum(), env.NewEdgeChurn(graph.Complete(n), 0.5), initialValues(n, seed),
-			sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 60_000, Mode: sim.PairwiseMode})
+			sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 60_000, Mode: sim.PairwiseMode})
 	})
 
 	b.WriteString(fmt.Sprintf("Median rounds to convergence (%d seeds), by system size N:\n\n", cfg.Seeds))
@@ -538,7 +581,7 @@ func E7Sum(cfg Config) Section {
 	} {
 		med, rate, err := medianRounds[int](cfg, func(seed int64) (*sim.Result[int], error) {
 			return sim.Run[int](problems.NewSum(), env.NewEdgeChurn(fam.g, 0.8), vals,
-				sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 3000, Mode: sim.PairwiseMode})
+				sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 3000, Mode: sim.PairwiseMode})
 		})
 		if err != nil {
 			shape = false
@@ -588,14 +631,14 @@ func E8Sort(cfg Config) Section {
 		}
 		medLine, rateLine, err := medianRounds[problems.Item](cfg, func(seed int64) (*sim.Result[problems.Item], error) {
 			return sim.Run[problems.Item](pLine, env.NewEdgeChurn(graph.Line(n), 0.8), problems.InitialItems(vals),
-				sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 200_000, Mode: sim.PairwiseMode})
+				sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 200_000, Mode: sim.PairwiseMode})
 		})
 		if err != nil || rateLine < 1 {
 			shape = false
 		}
 		medFull, rateFull, err := medianRounds[problems.Item](cfg, func(seed int64) (*sim.Result[problems.Item], error) {
 			return sim.Run[problems.Item](pLine, env.NewEdgeChurn(graph.Complete(n), 0.8), problems.InitialItems(vals),
-				sim.Options{Seed: seed, StopOnConverged: true, MaxRounds: 200_000})
+				sim.Options{ParallelThreshold: -1, Seed: seed, StopOnConverged: true, MaxRounds: 200_000})
 		})
 		if err != nil || rateFull < 1 {
 			shape = false
@@ -838,11 +881,17 @@ func E11Ablation(cfg Config) Section {
 	}
 	var compRounds, pairRounds float64
 	for _, row := range []cfgRow{{"component steps", sim.ComponentMode}, {"pairwise gossip", sim.PairwiseMode}} {
-		var rounds, msgs metrics.Sample
-		for s := 0; s < cfg.Seeds; s++ {
+		results := make([]*sim.Result[int], cfg.Seeds)
+		forEachSeed(cfg.Seeds, func(s int) {
 			res, err := sim.Run[int](problems.NewMin(), env.NewEdgeChurn(g, 0.5), initialValues(n, int64(s)),
-				sim.Options{Seed: int64(s), StopOnConverged: true, MaxRounds: 60_000, Mode: row.mode})
-			if err != nil || !res.Converged {
+				sim.Options{ParallelThreshold: -1, Seed: int64(s), StopOnConverged: true, MaxRounds: 60_000, Mode: row.mode})
+			if err == nil {
+				results[s] = res
+			}
+		})
+		var rounds, msgs metrics.Sample
+		for _, res := range results {
+			if res == nil || !res.Converged {
 				shape = false
 				continue
 			}
@@ -864,11 +913,22 @@ func E11Ablation(cfg Config) Section {
 
 	// State-size comparison against flooding.
 	t2 := metrics.NewTable("algorithm", "per-agent state (values)", "median rounds (churn 0.3)")
+	floods := make([]*baseline.Result, cfg.Seeds)
+	selfs := make([]*sim.Result[int], cfg.Seeds)
+	forEachSeed(cfg.Seeds, func(s int) {
+		if fr, err := baseline.Flooding(env.NewEdgeChurn(g, 0.3), initialValues(n, int64(s)), 60_000, int64(s)); err == nil {
+			floods[s] = fr
+		}
+		if sr, err := sim.Run[int](problems.NewMin(), env.NewEdgeChurn(g, 0.3), initialValues(n, int64(s)),
+			sim.Options{ParallelThreshold: -1, Seed: int64(s), StopOnConverged: true, MaxRounds: 60_000}); err == nil {
+			selfs[s] = sr
+		}
+	})
 	var floodRounds, selfRounds metrics.Sample
 	maxState := 0
 	for s := 0; s < cfg.Seeds; s++ {
-		fr, err := baseline.Flooding(env.NewEdgeChurn(g, 0.3), initialValues(n, int64(s)), 60_000, int64(s))
-		if err != nil || !fr.Converged {
+		fr, sr := floods[s], selfs[s]
+		if fr == nil || !fr.Converged {
 			shape = false
 			continue
 		}
@@ -876,9 +936,7 @@ func E11Ablation(cfg Config) Section {
 		if fr.MaxStateSize > maxState {
 			maxState = fr.MaxStateSize
 		}
-		sr, err := sim.Run[int](problems.NewMin(), env.NewEdgeChurn(g, 0.3), initialValues(n, int64(s)),
-			sim.Options{Seed: int64(s), StopOnConverged: true, MaxRounds: 60_000})
-		if err != nil || !sr.Converged {
+		if sr == nil || !sr.Converged {
 			shape = false
 			continue
 		}
@@ -913,18 +971,20 @@ func E12Fairness(cfg Config) Section {
 
 	t := metrics.NewTable("environment", "min converges?", "sum (pairwise) converges?")
 	run := func(e func() env.Environment) (bool, bool) {
+		minSeed := make([]bool, cfg.Seeds)
+		sumSeed := make([]bool, cfg.Seeds)
+		forEachSeed(cfg.Seeds, func(s int) {
+			r1, err := sim.Run[int](problems.NewMin(), e(), vals,
+				sim.Options{ParallelThreshold: -1, Seed: int64(s), StopOnConverged: true, MaxRounds: 4000})
+			minSeed[s] = err == nil && r1.Converged
+			r2, err := sim.Run[int](problems.NewSum(), e(), vals,
+				sim.Options{ParallelThreshold: -1, Seed: int64(s), StopOnConverged: true, MaxRounds: 4000, Mode: sim.PairwiseMode})
+			sumSeed[s] = err == nil && r2.Converged
+		})
 		minOK, sumOK := true, true
 		for s := 0; s < cfg.Seeds; s++ {
-			r1, err := sim.Run[int](problems.NewMin(), e(), vals,
-				sim.Options{Seed: int64(s), StopOnConverged: true, MaxRounds: 4000})
-			if err != nil || !r1.Converged {
-				minOK = false
-			}
-			r2, err := sim.Run[int](problems.NewSum(), e(), vals,
-				sim.Options{Seed: int64(s), StopOnConverged: true, MaxRounds: 4000, Mode: sim.PairwiseMode})
-			if err != nil || !r2.Converged {
-				sumOK = false
-			}
+			minOK = minOK && minSeed[s]
+			sumOK = sumOK && sumSeed[s]
 		}
 		return minOK, sumOK
 	}
@@ -955,15 +1015,18 @@ func E12Fairness(cfg Config) Section {
 	// fairness window it still cannot prevent convergence; without one it
 	// blocks min outright.
 	feedbackRun := func(window int) bool {
-		ok := true
-		for s := 0; s < cfg.Seeds; s++ {
+		okSeed := make([]bool, cfg.Seeds)
+		forEachSeed(cfg.Seeds, func(s int) {
 			r, err := sim.Run[int](problems.NewMin(), env.NewAdversary(g, 1.0, window), vals,
-				sim.Options{Seed: int64(s), StopOnConverged: true, MaxRounds: 4000, AdversaryFeedback: true})
-			if err != nil || !r.Converged {
-				ok = false
+				sim.Options{ParallelThreshold: -1, Seed: int64(s), StopOnConverged: true, MaxRounds: 4000, AdversaryFeedback: true})
+			okSeed[s] = err == nil && r.Converged
+		})
+		for _, ok := range okSeed {
+			if !ok {
+				return false
 			}
 		}
-		return ok
+		return true
 	}
 	fairFeedback := feedbackRun(10)
 	unfairFeedback := feedbackRun(0)

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	goruntime "runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -44,5 +46,37 @@ func TestE9TableComplete(t *testing.T) {
 func TestConfigs(t *testing.T) {
 	if DefaultConfig().Seeds <= QuickConfig().Seeds {
 		t.Error("default config should use more seeds than quick")
+	}
+}
+
+func TestForEachSeedVisitsEverySeedOnce(t *testing.T) {
+	old := goruntime.GOMAXPROCS(4)
+	defer goruntime.GOMAXPROCS(old)
+	counts := make([]atomic.Int32, 100)
+	forEachSeed(len(counts), func(s int) { counts[s].Add(1) })
+	for s := range counts {
+		if got := counts[s].Load(); got != 1 {
+			t.Fatalf("seed %d visited %d times, want 1", s, got)
+		}
+	}
+	forEachSeed(0, func(int) { t.Fatal("n=0 must not invoke body") })
+}
+
+// TestParallelSweepBitIdentical renders a seed-sweeping experiment with
+// the worker pool saturated and serially, and requires byte-identical
+// bodies: each seed owns its RNG, so parallelism must be invisible in
+// results.
+func TestParallelSweepBitIdentical(t *testing.T) {
+	old := goruntime.GOMAXPROCS(4)
+	parallel := E4Adaptivity(QuickConfig())
+	goruntime.GOMAXPROCS(1)
+	serial := E4Adaptivity(QuickConfig())
+	goruntime.GOMAXPROCS(old)
+	if parallel.Body != serial.Body {
+		t.Fatalf("parallel sweep diverged from serial sweep:\n--- parallel ---\n%s\n--- serial ---\n%s",
+			parallel.Body, serial.Body)
+	}
+	if !parallel.ShapeHolds {
+		t.Fatal("E4 shape does not hold")
 	}
 }

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestComponentsIntoMatchesComponents cross-checks the scratch-reusing
+// partition against the allocating reference on random graphs and masks,
+// reusing ONE scratch across every query — the engine's per-round usage.
+func TestComponentsIntoMatchesComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var cs ComponentScratch
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		g := ConnectedErdosRenyi(n, 0.3, rng)
+		edgeUp := make([]bool, g.M())
+		agentUp := make([]bool, g.N())
+		for i := range edgeUp {
+			edgeUp[i] = rng.Float64() < 0.6
+		}
+		for i := range agentUp {
+			agentUp[i] = rng.Float64() < 0.8
+		}
+		for _, masks := range []struct{ e, a []bool }{
+			{edgeUp, agentUp}, {nil, agentUp}, {edgeUp, nil}, {nil, nil},
+		} {
+			want := g.Components(masks.e, masks.a)
+			got := g.ComponentsInto(masks.e, masks.a, &cs)
+			// Compare as [][]int values (got aliases scratch, so compare
+			// before the next query, which invalidates it).
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d components, want %d", trial, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("trial %d component %d: %v, want %v", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestComponentsEmptyGraph(t *testing.T) {
+	g, err := New("empty", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Components(nil, nil); len(got) != 0 {
+		t.Fatalf("empty graph components = %v", got)
+	}
+	var cs ComponentScratch
+	if got := g.ComponentsInto(nil, nil, &cs); len(got) != 0 {
+		t.Fatalf("empty graph ComponentsInto = %v", got)
+	}
+}

@@ -156,23 +156,48 @@ func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 // Each component's member list is sorted; components are ordered by their
 // smallest member, so output is deterministic.
 func (g *Graph) Components(edgeUp, agentUp []bool) [][]int {
-	parent := make([]int, g.n)
+	return g.ComponentsInto(edgeUp, agentUp, &ComponentScratch{})
+}
+
+// ComponentScratch holds the reusable buffers of ComponentsInto so an
+// engine can derive the partition π every round without allocating. The
+// zero value is ready to use; buffers grow on first use and are retained.
+type ComponentScratch struct {
+	parent  []int
+	compOf  []int // root vertex -> component index, -1 when unassigned
+	offsets []int
+	fill    []int
+	members []int   // flat member storage, segmented by offsets
+	comps   [][]int // slice headers into members
+}
+
+// ComponentsInto is Components with caller-owned scratch: the returned
+// partition (and every member slice in it) aliases cs and is valid only
+// until the next call with the same scratch. Output is identical to
+// Components: members sorted ascending, components ordered by smallest
+// member.
+func (g *Graph) ComponentsInto(edgeUp, agentUp []bool, cs *ComponentScratch) [][]int {
+	n := g.n
+	if n == 0 {
+		return [][]int{}
+	}
+	if cap(cs.parent) < n {
+		cs.parent = make([]int, n)
+		cs.compOf = make([]int, n)
+		cs.fill = make([]int, n)
+		cs.members = make([]int, n)
+		cs.offsets = make([]int, n+1)
+	}
+	parent := cs.parent[:n]
 	for i := range parent {
 		parent[i] = i
 	}
-	var find func(int) int
-	find = func(x int) int {
+	find := func(x int) int {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
 		}
 		return x
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
 	}
 	up := func(v int) bool { return agentUp == nil || agentUp[v] }
 	for id, e := range g.edges {
@@ -180,24 +205,50 @@ func (g *Graph) Components(edgeUp, agentUp []bool) [][]int {
 			continue
 		}
 		if up(e.A) && up(e.B) {
-			union(e.A, e.B)
+			ra, rb := find(e.A), find(e.B)
+			if ra != rb {
+				parent[ra] = rb
+			}
 		}
 	}
-	groups := make(map[int][]int, g.n)
-	order := make([]int, 0, g.n)
-	for v := 0; v < g.n; v++ {
+	// Pass 1 (ascending): number components in order of first-seen vertex —
+	// which is each component's smallest member — and count sizes.
+	compOf := cs.compOf[:n]
+	fill := cs.fill[:n]
+	for i := range compOf {
+		compOf[i] = -1
+		fill[i] = 0
+	}
+	numComps := 0
+	for v := 0; v < n; v++ {
 		r := find(v)
-		if _, ok := groups[r]; !ok {
-			order = append(order, r)
+		if compOf[r] < 0 {
+			compOf[r] = numComps
+			numComps++
 		}
-		groups[r] = append(groups[r], v)
+		fill[compOf[r]]++
 	}
-	out := make([][]int, 0, len(order))
-	for _, r := range order {
-		out = append(out, groups[r])
+	offsets := cs.offsets[:numComps+1]
+	offsets[0] = 0
+	for c := 0; c < numComps; c++ {
+		offsets[c+1] = offsets[c] + fill[c]
+		fill[c] = 0
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return out
+	// Pass 2 (ascending): fill members, sorted within each component.
+	members := cs.members[:n]
+	for v := 0; v < n; v++ {
+		c := compOf[find(v)]
+		members[offsets[c]+fill[c]] = v
+		fill[c]++
+	}
+	if cap(cs.comps) < numComps {
+		cs.comps = make([][]int, numComps)
+	}
+	comps := cs.comps[:numComps]
+	for c := 0; c < numComps; c++ {
+		comps[c] = members[offsets[c]:offsets[c+1]:offsets[c+1]]
+	}
+	return comps
 }
 
 // Connected reports whether the graph (with all edges enabled) is a single

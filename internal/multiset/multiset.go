@@ -19,6 +19,7 @@ package multiset
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -35,8 +36,14 @@ type Cmp[T any] func(a, b T) int
 // multiset that supplies a comparison function, but New should normally be
 // used so the order is explicit.
 type Multiset[T any] struct {
-	cmp   Cmp[T]
-	elems []T // sorted by cmp; never aliased to caller-visible memory
+	cmp Cmp[T]
+	// elems is sorted by cmp. Multisets built by New/FromSorted/Union/…
+	// own their storage; the exceptions are View and Tracker.View, which
+	// deliberately alias caller- or tracker-owned buffers for the engine
+	// hot path — such views are invalidated by the next mutation of the
+	// underlying buffer (Tracker.Replace recycles its old array as merge
+	// scratch) and must not be retained across it.
+	elems []T
 }
 
 // New builds a multiset from the given elements using cmp as the total
@@ -209,6 +216,115 @@ func (m Multiset[T]) Format(elem func(T) string) string {
 // String renders the multiset with fmt's default %v formatting per element.
 func (m Multiset[T]) String() string {
 	return m.Format(func(v T) string { return fmt.Sprintf("%v", v) })
+}
+
+// View wraps an already-sorted slice as a Multiset WITHOUT copying it. The
+// caller promises that the slice is sorted by cmp and will not be mutated
+// for as long as the returned multiset (or anything derived from it that
+// aliases it) is in use. It exists for engine hot paths that maintain their
+// own sorted scratch buffers and need a multiset view with zero
+// allocation; everything else should use New or FromSorted.
+func View[T any](cmp Cmp[T], sorted []T) Multiset[T] {
+	return Multiset[T]{cmp: cmp, elems: sorted}
+}
+
+// Tracker maintains the canonically sorted multiset of a population of
+// values that mutates in small increments — the engine-side "incremental
+// snapshot". Where ms.New costs an allocation plus an O(n log n) sort per
+// call, a Tracker owns one sorted buffer for the lifetime of a run and
+// Replace repairs it after a group step using O(k log n) comparisons (k =
+// changed values) and a single linear merge pass, allocating nothing once
+// its scratch buffers have grown to a steady state.
+type Tracker[T any] struct {
+	cmp   Cmp[T]
+	elems []T // sorted by cmp
+	// Reusable scratch: sorted copies of the change set, removal indices,
+	// insertion positions, and the merge output buffer (swapped with elems).
+	oldBuf, newBuf []T
+	remIdx, insPos []int
+	mergeBuf       []T
+}
+
+// NewTracker builds a Tracker over a copy of the given population.
+func NewTracker[T any](cmp Cmp[T], elems []T) *Tracker[T] {
+	own := make([]T, len(elems))
+	copy(own, elems)
+	slices.SortStableFunc(own, cmp)
+	return &Tracker[T]{cmp: cmp, elems: own}
+}
+
+// Len reports the tracked population size.
+func (t *Tracker[T]) Len() int { return len(t.elems) }
+
+// View returns the current multiset as a zero-copy view. The view is
+// invalidated by the next Replace; callers that retain it across mutations
+// must copy it first (Multiset.Elements or ms.New).
+func (t *Tracker[T]) View() Multiset[T] { return Multiset[T]{cmp: t.cmp, elems: t.elems} }
+
+// Replace removes one occurrence of every value in olds and inserts every
+// value in news, repairing sorted order incrementally. It panics when an
+// old value is not present — a corrupted snapshot would silently poison
+// every downstream monitor, so the failure is loud. olds and news may have
+// different lengths and are not mutated.
+func (t *Tracker[T]) Replace(olds, news []T) {
+	if len(olds) == 0 && len(news) == 0 {
+		return
+	}
+	t.oldBuf = append(t.oldBuf[:0], olds...)
+	t.newBuf = append(t.newBuf[:0], news...)
+	slices.SortFunc(t.oldBuf, t.cmp)
+	slices.SortFunc(t.newBuf, t.cmp)
+
+	// Locate removal indices: for a run of c equal old values, claim the
+	// first c slots of that value's range in elems (all slots of an equal
+	// run are interchangeable under cmp). O(k log n).
+	t.remIdx = t.remIdx[:0]
+	for i := 0; i < len(t.oldBuf); {
+		v := t.oldBuf[i]
+		run := 1
+		for i+run < len(t.oldBuf) && t.cmp(t.oldBuf[i+run], v) == 0 {
+			run++
+		}
+		lo := sort.Search(len(t.elems), func(j int) bool { return t.cmp(t.elems[j], v) >= 0 })
+		for r := 0; r < run; r++ {
+			idx := lo + r
+			if idx >= len(t.elems) || t.cmp(t.elems[idx], v) != 0 {
+				panic("multiset.Tracker.Replace: old value not present")
+			}
+			t.remIdx = append(t.remIdx, idx)
+		}
+		i += run
+	}
+
+	// Locate insertion positions (lower bound in the ORIGINAL coordinate
+	// system; removals and insertions are then interleaved in one pass).
+	t.insPos = t.insPos[:0]
+	for _, v := range t.newBuf {
+		t.insPos = append(t.insPos,
+			sort.Search(len(t.elems), func(j int) bool { return t.cmp(t.elems[j], v) >= 0 }))
+	}
+
+	// Single merge pass: copy surviving elements, skip removed indices,
+	// emit inserted values at their positions. Index comparisons only — no
+	// further cmp calls.
+	out := t.mergeBuf[:0]
+	ri, ni := 0, 0
+	for i := 0; i <= len(t.elems); i++ {
+		for ni < len(t.insPos) && t.insPos[ni] == i {
+			out = append(out, t.newBuf[ni])
+			ni++
+		}
+		if i == len(t.elems) {
+			break
+		}
+		if ri < len(t.remIdx) && t.remIdx[ri] == i {
+			ri++
+			continue
+		}
+		out = append(out, t.elems[i])
+	}
+	t.mergeBuf = t.elems[:0]
+	t.elems = out
 }
 
 // OrderedCmp returns a Cmp for any ordered primitive type.

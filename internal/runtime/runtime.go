@@ -27,7 +27,10 @@
 // transition is exactly a PairStep of the problem — i.e. a D-step. The
 // global multiset passes through transient states where one half has been
 // adopted and the other is in flight; conservation is therefore asserted
-// at quiescence, not per-interleaving.
+// at quiescence, not per-interleaving — via the same engine.Monitor the
+// round-based engine uses, so the two engines share one definition of the
+// conservation law, the variant discipline, convergence, and the
+// deterministic seeding scheme.
 package runtime
 
 import (
@@ -39,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	ms "repro/internal/multiset"
 )
@@ -68,6 +72,10 @@ type Result[T any] struct {
 	Ops int
 	// ProperSteps counts exchanges that changed the pair's multiset.
 	ProperSteps int
+	// Violations lists monitor failures asserted at quiescence (the
+	// conservation law f(S) = S* and the net descent of the variant h);
+	// empty on a correct run.
+	Violations []string
 	// Final holds the final (positional) agent states.
 	Final []T
 	// Target is f(S(0)).
@@ -132,16 +140,19 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	}
 
 	cmp := p.Cmp()
-	target := p.F().Apply(ms.New(cmp, initial...))
+	initialM := ms.New(cmp, initial...)
+	mon := engine.NewMonitor(p, initialM, 0)
+	conv := engine.NewConvergence(p.Equal, mon.Target())
+	target := mon.Target()
 	res := &Result[T]{Target: target}
-	if p.Equal(ms.New(cmp, initial...), target) {
+	if conv.Observe(0, initialM) {
 		res.Converged = true
 		res.Final = append([]T(nil), initial...)
 		return res, nil
 	}
 
 	links := &linkTable{up: make([]bool, g.M())}
-	envRng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+	envRng := rand.New(rand.NewSource(engine.EnvSeed(opts.Seed)))
 	links.refresh(opts.LinkUpProbability, envRng)
 
 	// Shared observation board: agents post their state after every
@@ -201,7 +212,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 			defer wg.Done()
 			my := initial[a]
 			defer func() { finals[a] = my }()
-			rng := rand.New(rand.NewSource(opts.Seed + int64(a)*7919))
+			rng := rand.New(rand.NewSource(engine.AgentSeed(opts.Seed, a)))
 			inbox := inboxes[a]
 
 			serve := func(req request[T]) {
@@ -295,7 +306,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				return
 			default:
 			}
-			if p.Equal(view(), target) {
+			if conv.Reached(view()) {
 				cancel()
 				return
 			}
@@ -313,6 +324,9 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	res.Final = finals
 	res.Ops = int(opCount)
 	res.ProperSteps = int(properCount)
-	res.Converged = p.Equal(ms.New(cmp, finals...), target)
+	finalM := ms.New(cmp, finals...)
+	res.Converged = conv.Observe(res.Ops, finalM)
+	mon.ObserveQuiescence(finalM)
+	res.Violations = mon.Violations()
 	return res, nil
 }

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/problems"
+)
+
+// Engine-equivalence golden tests.
+//
+// The golden strings below were recorded from the seed (pre-refactor)
+// round-based engine: a fresh multiset snapshot and a goroutine per group
+// every round. The refactored zero-allocation engine core must produce
+// bit-for-bit identical results — same RNG stream consumption, same group
+// ordering, same monitor verdicts — for every (problem × environment ×
+// seed) cell, so any divergence in Converged/Round/Rounds/GroupSteps/
+// Messages/Violations/Final fails here with the exact cell named.
+//
+// Regenerate (only when an INTENTIONAL behavior change is made) with:
+//
+//	SIM_GOLDEN_REGEN=1 go test ./internal/sim -run TestEngineEquivalenceGolden -v
+//
+// and paste the printed map literal over engineGoldens.
+
+type goldenCase struct {
+	name string
+	run  func(seed int64, tweak func(*Options)) (string, error)
+}
+
+// tweaked applies an optional Options mutation — used by the parallel
+// variant of the golden test to force the worker pool on without touching
+// anything that affects results.
+func tweaked(opts Options, tweak func(*Options)) Options {
+	if tweak != nil {
+		tweak(&opts)
+	}
+	return opts
+}
+
+// summarize renders every Result field the equivalence contract covers.
+func summarize[T any](res *Result[T], err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("conv=%v round=%d rounds=%d steps=%d msgs=%d viol=%d final=%v",
+		res.Converged, res.Round, res.Rounds, res.GroupSteps, res.Messages,
+		len(res.Violations), res.Final), nil
+}
+
+func goldenCases() []goldenCase {
+	intVals := func(n int, seed int64) []int {
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = int((int64(i+1)*2654435761 + seed*97) % int64(4*n))
+		}
+		return vals
+	}
+	return []goldenCase{
+		{"min/ring16/churn0.5", func(seed int64, tweak func(*Options)) (string, error) {
+			return summarize(Run[int](problems.NewMin(), env.NewEdgeChurn(graph.Ring(16), 0.5),
+				intVals(16, 3), tweaked(Options{Seed: seed, StopOnConverged: true, CheckSteps: true, MaxRounds: 10_000}, tweak)))
+		}},
+		{"min/complete12/partitioner", func(seed int64, tweak func(*Options)) (string, error) {
+			return summarize(Run[int](problems.NewMin(), env.NewPartitioner(graph.Complete(12), 3, 5, 20),
+				intVals(12, 5), tweaked(Options{Seed: seed, StopOnConverged: true, MaxRounds: 10_000}, tweak)))
+		}},
+		{"min/complete8/adversary-feedback", func(seed int64, tweak func(*Options)) (string, error) {
+			return summarize(Run[int](problems.NewMin(), env.NewAdversary(graph.Complete(8), 0.9, 6),
+				intVals(8, 7), tweaked(Options{Seed: seed, StopOnConverged: true, AdversaryFeedback: true, MaxRounds: 10_000}, tweak)))
+		}},
+		{"partialmin/ring12/powerloss", func(seed int64, tweak func(*Options)) (string, error) {
+			return summarize(Run[int](&problems.Min{Partial: true}, env.NewPowerLoss(graph.Ring(12), 0.3),
+				intVals(12, 9), tweaked(Options{Seed: seed, StopOnConverged: true, MaxRounds: 60_000}, tweak)))
+		}},
+		{"sum/complete10/pairwise", func(seed int64, tweak func(*Options)) (string, error) {
+			return summarize(Run[int](problems.NewSum(), env.NewEdgeChurn(graph.Complete(10), 0.7),
+				intVals(10, 11), tweaked(Options{Seed: seed, StopOnConverged: true, CheckSteps: true, Mode: PairwiseMode, MaxRounds: 10_000}, tweak)))
+		}},
+		{"gcd/star9/roundrobin", func(seed int64, tweak func(*Options)) (string, error) {
+			vals := intVals(9, 13)
+			for i := range vals {
+				vals[i] = (vals[i] + 1) * 6
+			}
+			return summarize(Run[int](problems.NewGCD(), env.NewRoundRobin(graph.Star(9)),
+				vals, tweaked(Options{Seed: seed, StopOnConverged: true, MaxRounds: 10_000}, tweak)))
+		}},
+		{"sorting/line8/pairwise", func(seed int64, tweak func(*Options)) (string, error) {
+			vals := []int{7, 2, 5, 0, 6, 1, 4, 3}
+			p, err := problems.NewSorting(vals)
+			if err != nil {
+				return "", err
+			}
+			return summarize(Run[problems.Item](p, env.NewEdgeChurn(graph.Line(8), 0.8),
+				problems.InitialItems(vals), tweaked(Options{Seed: seed, StopOnConverged: true, Mode: PairwiseMode, MaxRounds: 100_000}, tweak)))
+		}},
+		{"sorting/complete8/component", func(seed int64, tweak func(*Options)) (string, error) {
+			vals := []int{7, 2, 5, 0, 6, 1, 4, 3}
+			p, err := problems.NewSorting(vals)
+			if err != nil {
+				return "", err
+			}
+			return summarize(Run[problems.Item](p, env.NewEdgeChurn(graph.Complete(8), 0.6),
+				problems.InitialItems(vals), tweaked(Options{Seed: seed, StopOnConverged: true, CheckSteps: true, MaxRounds: 100_000}, tweak)))
+		}},
+		{"minpair/complete6/churn0.6", func(seed int64, tweak func(*Options)) (string, error) {
+			vals := []int{5, 2, 4, 1, 3, 0}
+			return summarize(Run[problems.Pair](problems.NewMinPair(6, 8), env.NewEdgeChurn(graph.Complete(6), 0.6),
+				problems.InitialPairs(vals), tweaked(Options{Seed: seed, StopOnConverged: true, MaxRounds: 10_000}, tweak)))
+		}},
+		{"hull/ring6/churn0.5", func(seed int64, tweak func(*Options)) (string, error) {
+			pts := []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 1}, {X: 2, Y: 5}, {X: 6, Y: 3}, {X: 1, Y: 4}, {X: 5, Y: 5}}
+			return summarize(Run[problems.HullState](problems.NewHull(pts), env.NewEdgeChurn(graph.Ring(6), 0.5),
+				problems.InitialHulls(pts), tweaked(Options{Seed: seed, StopOnConverged: true, HEps: 1e-9, MaxRounds: 10_000}, tweak)))
+		}},
+		{"min/ring16/no-stop-stability", func(seed int64, tweak func(*Options)) (string, error) {
+			// StopOnConverged off: the run continues to MaxRounds and the
+			// goal state must be stable (spec (4)); exercises the full-length
+			// round loop and snapshot maintenance after convergence.
+			return summarize(Run[int](problems.NewMin(), env.NewEdgeChurn(graph.Ring(16), 0.8),
+				intVals(16, 17), tweaked(Options{Seed: seed, MaxRounds: 120}, tweak)))
+		}},
+	}
+}
+
+// engineGoldens maps "case/seed" to the seed-engine summary.
+var engineGoldens = map[string]string{
+	"min/ring16/churn0.5/seed1":              "conv=true round=9 rounds=9 steps=16 msgs=76 viol=0 final=[2 2 2 2 2 2 2 2 2 2 2 2 2 2 2 2]",
+	"min/ring16/churn0.5/seed2":              "conv=true round=8 rounds=8 steps=13 msgs=62 viol=0 final=[2 2 2 2 2 2 2 2 2 2 2 2 2 2 2 2]",
+	"min/ring16/churn0.5/seed3":              "conv=true round=10 rounds=10 steps=19 msgs=96 viol=0 final=[2 2 2 2 2 2 2 2 2 2 2 2 2 2 2 2]",
+	"min/complete12/partitioner/seed1":       "conv=true round=1 rounds=1 steps=1 msgs=22 viol=0 final=[6 6 6 6 6 6 6 6 6 6 6 6]",
+	"min/complete12/partitioner/seed2":       "conv=true round=1 rounds=1 steps=1 msgs=22 viol=0 final=[6 6 6 6 6 6 6 6 6 6 6 6]",
+	"min/complete12/partitioner/seed3":       "conv=true round=1 rounds=1 steps=1 msgs=22 viol=0 final=[6 6 6 6 6 6 6 6 6 6 6 6]",
+	"min/complete8/adversary-feedback/seed1": "conv=true round=7 rounds=7 steps=3 msgs=20 viol=0 final=[9 9 9 9 9 9 9 9]",
+	"min/complete8/adversary-feedback/seed2": "conv=true round=7 rounds=7 steps=3 msgs=20 viol=0 final=[9 9 9 9 9 9 9 9]",
+	"min/complete8/adversary-feedback/seed3": "conv=true round=7 rounds=7 steps=2 msgs=20 viol=0 final=[9 9 9 9 9 9 9 9]",
+	"partialmin/ring12/powerloss/seed1":      "conv=true round=10 rounds=10 steps=10 msgs=80 viol=0 final=[10 10 10 10 10 10 10 10 10 10 10 10]",
+	"partialmin/ring12/powerloss/seed2":      "conv=true round=10 rounds=10 steps=14 msgs=86 viol=0 final=[10 10 10 10 10 10 10 10 10 10 10 10]",
+	"partialmin/ring12/powerloss/seed3":      "conv=true round=5 rounds=5 steps=4 msgs=58 viol=0 final=[10 10 10 10 10 10 10 10 10 10 10 10]",
+	"sum/complete10/pairwise/seed1":          "conv=true round=23 rounds=23 steps=9 msgs=18 viol=0 final=[325 0 0 0 0 0 0 0 0 0]",
+	"sum/complete10/pairwise/seed2":          "conv=true round=35 rounds=35 steps=9 msgs=18 viol=0 final=[325 0 0 0 0 0 0 0 0 0]",
+	"sum/complete10/pairwise/seed3":          "conv=true round=12 rounds=12 steps=9 msgs=18 viol=0 final=[325 0 0 0 0 0 0 0 0 0]",
+	"gcd/star9/roundrobin/seed1":             "conv=true round=8 rounds=8 steps=8 msgs=16 viol=0 final=[6 6 6 6 6 6 6 6 6]",
+	"gcd/star9/roundrobin/seed2":             "conv=true round=8 rounds=8 steps=8 msgs=16 viol=0 final=[6 6 6 6 6 6 6 6 6]",
+	"gcd/star9/roundrobin/seed3":             "conv=true round=8 rounds=8 steps=8 msgs=16 viol=0 final=[6 6 6 6 6 6 6 6 6]",
+	"sorting/line8/pairwise/seed1":           "conv=true round=19 rounds=19 steps=17 msgs=34 viol=0 final=[0:0 1:1 2:2 3:3 4:4 5:5 6:6 7:7]",
+	"sorting/line8/pairwise/seed2":           "conv=true round=16 rounds=16 steps=17 msgs=34 viol=0 final=[0:0 1:1 2:2 3:3 4:4 5:5 6:6 7:7]",
+	"sorting/line8/pairwise/seed3":           "conv=true round=23 rounds=23 steps=17 msgs=34 viol=0 final=[0:0 1:1 2:2 3:3 4:4 5:5 6:6 7:7]",
+	"sorting/complete8/component/seed1":      "conv=true round=1 rounds=1 steps=1 msgs=14 viol=0 final=[0:0 1:1 2:2 3:3 4:4 5:5 6:6 7:7]",
+	"sorting/complete8/component/seed2":      "conv=true round=1 rounds=1 steps=1 msgs=14 viol=0 final=[0:0 1:1 2:2 3:3 4:4 5:5 6:6 7:7]",
+	"sorting/complete8/component/seed3":      "conv=true round=1 rounds=1 steps=1 msgs=14 viol=0 final=[0:0 1:1 2:2 3:3 4:4 5:5 6:6 7:7]",
+	"minpair/complete6/churn0.6/seed1":       "conv=true round=1 rounds=1 steps=1 msgs=10 viol=0 final=[(0, 1) (0, 1) (0, 1) (0, 1) (0, 1) (0, 1)]",
+	"minpair/complete6/churn0.6/seed2":       "conv=true round=1 rounds=1 steps=1 msgs=10 viol=0 final=[(0, 1) (0, 1) (0, 1) (0, 1) (0, 1) (0, 1)]",
+	"minpair/complete6/churn0.6/seed3":       "conv=true round=2 rounds=2 steps=2 msgs=18 viol=0 final=[(0, 1) (0, 1) (0, 1) (0, 1) (0, 1) (0, 1)]",
+	"hull/ring6/churn0.5/seed1":              "conv=true round=5 rounds=5 steps=6 msgs=24 viol=0 final=[agent@(0, 0) hull|6| agent@(4, 1) hull|6| agent@(2, 5) hull|6| agent@(6, 3) hull|6| agent@(1, 4) hull|6| agent@(5, 5) hull|6|]",
+	"hull/ring6/churn0.5/seed2":              "conv=true round=4 rounds=4 steps=3 msgs=18 viol=0 final=[agent@(0, 0) hull|6| agent@(4, 1) hull|6| agent@(2, 5) hull|6| agent@(6, 3) hull|6| agent@(1, 4) hull|6| agent@(5, 5) hull|6|]",
+	"hull/ring6/churn0.5/seed3":              "conv=true round=6 rounds=6 steps=6 msgs=20 viol=0 final=[agent@(0, 0) hull|6| agent@(4, 1) hull|6| agent@(2, 5) hull|6| agent@(6, 3) hull|6| agent@(1, 4) hull|6| agent@(5, 5) hull|6|]",
+	"min/ring16/no-stop-stability/seed1":     "conv=true round=3 rounds=120 steps=4 msgs=78 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",
+	"min/ring16/no-stop-stability/seed2":     "conv=true round=2 rounds=120 steps=5 msgs=54 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",
+	"min/ring16/no-stop-stability/seed3":     "conv=true round=4 rounds=120 steps=9 msgs=94 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",
+}
+
+func TestEngineEquivalenceGolden(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if os.Getenv("SIM_GOLDEN_REGEN") != "" {
+		fmt.Println("var engineGoldens = map[string]string{")
+		for _, c := range goldenCases() {
+			for _, s := range seeds {
+				got, err := c.run(s, nil)
+				if err != nil {
+					t.Fatalf("%s/seed%d: %v", c.name, s, err)
+				}
+				fmt.Printf("\t%q: %q,\n", fmt.Sprintf("%s/seed%d", c.name, s), got)
+			}
+		}
+		fmt.Println("}")
+		return
+	}
+	runGoldenCases(t, nil)
+}
+
+// TestEngineEquivalenceGoldenParallel re-runs every golden cell with the
+// worker pool forced on (threshold 1) and enough worker slots to actually
+// interleave even on a single-CPU machine. Results must STILL match the
+// sequential seed engine bit for bit: per-group child seeds are drawn in
+// group order from the master stream, so scheduling cannot leak into
+// results.
+func TestEngineEquivalenceGoldenParallel(t *testing.T) {
+	old := goruntime.GOMAXPROCS(4)
+	defer goruntime.GOMAXPROCS(old)
+	runGoldenCases(t, func(o *Options) { o.ParallelThreshold = 1 })
+}
+
+func runGoldenCases(t *testing.T, tweak func(*Options)) {
+	t.Helper()
+	for _, c := range goldenCases() {
+		for _, s := range []int64{1, 2, 3} {
+			key := fmt.Sprintf("%s/seed%d", c.name, s)
+			t.Run(key, func(t *testing.T) {
+				got, err := c.run(s, tweak)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, ok := engineGoldens[key]
+				if !ok {
+					t.Fatalf("no golden recorded for %s; run with SIM_GOLDEN_REGEN=1", key)
+				}
+				if got != want {
+					t.Errorf("engine diverged from seed engine\n got: %s\nwant: %s", got, want)
+				}
+			})
+		}
+	}
+}

@@ -11,9 +11,12 @@
 //     takes no action — it "executes no actions and does not change
 //     state");
 //  3. every group in π executes one collaborative step of R concurrently
-//     (one goroutine per group — groups are disjoint, so the paper's
-//     "disjoint sets of agents can execute the algorithm concurrently" is
-//     realized literally).
+//     (a persistent worker pool fans the disjoint groups out across
+//     GOMAXPROCS workers — groups are disjoint, so the paper's "disjoint
+//     sets of agents can execute the algorithm concurrently" is realized
+//     literally; small rounds run serially, which is cheaper and
+//     bit-for-bit identical because every group steps on a private stream
+//     seeded in group order).
 //
 // Self-similarity is structural: a group step sees nothing but the states
 // of the group's own members, and the same GroupStep code runs for every
@@ -23,16 +26,26 @@
 // checks that every executed group step is a D-step (proof obligation
 // "R implements D" of §3.7), and it always monitors the conservation law
 // f(S) = S* (§3.2) and the monotone descent of the variant h on the global
-// state. Violations are recorded in the Result and fail tests.
+// state. Violations are recorded in the Result and fail tests. The
+// monitors, convergence detection, and seeding discipline are shared with
+// the asynchronous runtime via internal/engine.
+//
+// The round loop is allocation-free in steady state: the global state
+// multiset is maintained incrementally by a multiset.Tracker (repaired
+// after each proper group step instead of re-sorted from scratch), the
+// partition is derived into reusable scratch (graph.ComponentsInto), and
+// all matching and group buffers are engine-owned and reused across
+// rounds.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
+	"slices"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/env"
 	"repro/internal/graph"
 	"repro/internal/logic"
@@ -67,6 +80,12 @@ func (m Mode) String() string {
 	}
 }
 
+// DefaultParallelThreshold is the group count at which a round's group
+// steps fan out to the worker pool; below it they run serially on the
+// caller's goroutine. Group steps on the small systems the experiments
+// sweep are far cheaper than a hand-off, so the threshold is high.
+const DefaultParallelThreshold = 32
+
 // Options configures a simulation run.
 type Options struct {
 	// MaxRounds bounds the run; 0 means the DefaultMaxRounds.
@@ -88,6 +107,11 @@ type Options struct {
 	// target f(S(0)). When false the run continues to MaxRounds,
 	// verifying stability of the goal state (spec (4)).
 	StopOnConverged bool
+	// ParallelThreshold overrides DefaultParallelThreshold: the minimum
+	// number of groups in a round before group steps fan out to the
+	// persistent worker pool. 0 means the default; negative forces serial
+	// execution. Results are identical either way.
+	ParallelThreshold int
 	// OnRound, when non-nil, is called after every round with live
 	// progress — used by examples and the experiment harness to trace
 	// runs without retaining full traces.
@@ -147,6 +171,54 @@ type Result[T any] struct {
 	Probe *env.FairnessProbe
 }
 
+// runner holds the per-run engine state: the shared engine-core pieces
+// (monitor, convergence, seeder, pool) plus every scratch buffer the round
+// loop reuses so that steady-state rounds allocate nothing.
+type runner[T any] struct {
+	p    core.Problem[T]
+	e    env.Environment
+	g    *graph.Graph
+	opts Options
+	cmp  ms.Cmp[T]
+
+	mon     *engine.Monitor[T]
+	conv    *engine.Convergence[T]
+	seeder  *engine.Seeder
+	pool    *engine.Pool
+	tracker *ms.Tracker[T]
+
+	states []T
+	res    *Result[T]
+
+	// Component-mode scratch.
+	compScratch graph.ComponentScratch
+	jobs        []groupJob[T]
+	beforeArena []T
+	stepFn      func(worker, i int)
+	workerRands []*rand.Rand
+
+	// Pairwise-mode scratch.
+	usable  []int
+	matched []bool
+	edges   []graph.Edge
+	pairOld [2]T
+	pairNew [2]T
+
+	// Proper-step detection scratch (sorted copies of a group's before and
+	// after states, compared as zero-copy multiset views).
+	sortA, sortB []T
+}
+
+// groupJob is one group's step: members and before alias engine scratch
+// and are valid for the current round only; after is produced by the
+// problem's GroupStep.
+type groupJob[T any] struct {
+	members []int
+	before  []T
+	after   []T
+	seed    int64
+}
+
 // Run simulates problem p over environment e from the given initial
 // (positional) agent states.
 func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options) (*Result[T], error) {
@@ -161,20 +233,34 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	threshold := opts.ParallelThreshold
+	switch {
+	case threshold == 0:
+		threshold = DefaultParallelThreshold
+	case threshold < 0:
+		threshold = int(^uint(0) >> 1) // never engage: serial rounds
+	}
 
-	states := make([]T, len(initial))
-	copy(states, initial)
-	cmp := p.Cmp()
-	f, h := p.F(), p.H()
-
-	target := f.Apply(ms.New(cmp, states...))
-	res := &Result[T]{Target: target, Probe: env.NewFairnessProbe(g.M())}
+	r := &runner[T]{p: p, e: e, g: g, opts: opts, cmp: p.Cmp()}
+	r.states = make([]T, len(initial))
+	copy(r.states, initial)
+	r.seeder = engine.NewSeeder(opts.Seed)
+	r.pool = engine.NewPool(0, threshold)
+	defer r.pool.Close()
+	r.tracker = ms.NewTracker(r.cmp, r.states)
+	r.mon = engine.NewMonitor(p, r.tracker.View(), opts.HEps)
+	r.conv = engine.NewConvergence(p.Equal, r.mon.Target())
+	r.res = &Result[T]{Target: r.mon.Target(), Probe: env.NewFairnessProbe(g.M())}
+	r.workerRands = make([]*rand.Rand, r.pool.Size())
+	r.stepFn = func(worker, i int) {
+		j := &r.jobs[i]
+		j.after = r.p.GroupStep(j.before, r.workerRand(worker, j.seed))
+	}
 
 	if opts.AdversaryFeedback {
 		if ad, ok := e.(*env.Adversary); ok {
 			ad.SetUseful(func(edge graph.Edge) float64 {
-				if cmp(states[edge.A], states[edge.B]) != 0 {
+				if r.cmp(r.states[edge.A], r.states[edge.B]) != 0 {
 					return 1
 				}
 				return 0
@@ -182,13 +268,12 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 		}
 	}
 
-	snapshot := func() ms.Multiset[T] { return ms.New(cmp, states...) }
-	lastH := h.Value(snapshot())
-
-	if p.Equal(snapshot(), target) {
+	res := r.res
+	if r.conv.Observe(0, r.tracker.View()) {
 		res.Converged = true
 	}
 
+	rng := r.seeder.Master()
 	round := 0
 	for ; round < maxRounds; round++ {
 		if res.Converged && opts.StopOnConverged {
@@ -203,28 +288,20 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 		var activeGroups int
 		switch opts.Mode {
 		case PairwiseMode:
-			activeGroups = res.stepPairs(p, g.Edges(), es, states, rng, opts)
+			activeGroups = r.stepPairs(es, rng)
 		default:
-			activeGroups = res.stepComponents(p, e, es, states, rng, opts)
+			activeGroups = r.stepComponents(es)
 		}
 
-		// Global monitors: conservation law and variant descent.
-		now := snapshot()
-		if !p.Equal(f.Apply(now), target) {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("round %d: conservation law violated: f(S) ≠ S*", round))
-		}
-		nowH := h.Value(now)
-		if nowH > lastH+opts.HEps {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("round %d: variant increased %g → %g", round, lastH, nowH))
-		}
-		lastH = nowH
+		// Global monitors: conservation law and variant descent, on the
+		// incrementally maintained snapshot.
+		now := r.tracker.View()
+		nowH := r.mon.ObserveRound(round, now)
 		if opts.RecordH {
 			res.HTrace = append(res.HTrace, nowH)
 		}
 
-		if !res.Converged && p.Equal(now, target) {
+		if r.conv.Observe(round+1, now) {
 			res.Converged = true
 			res.Round = round + 1
 		}
@@ -240,80 +317,116 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 	if !res.Converged {
 		res.Round = round
 	}
-	res.Final = states
+	res.Final = r.states
+	res.Violations = r.mon.Violations()
 	return res, nil
 }
 
-// stepComponents runs one ComponentMode round: every connected component
-// of up agents executes one group step, concurrently (one goroutine per
-// group; groups are disjoint, so writes never overlap).
-func (res *Result[T]) stepComponents(p core.Problem[T], e env.Environment,
-	es env.State, states []T, rng *rand.Rand, opts Options) int {
-	g := e.Graph()
-	comps := g.Components(es.EdgeUp, es.AgentUp)
-
-	type groupResult struct {
-		members []int
-		before  []T
-		after   []T
+// workerRand returns worker w's reusable random stream, reseeded in place:
+// equivalent to rand.New(rand.NewSource(seed)) without the two allocations
+// per group per round. Distinct workers never share an entry, so the only
+// coordination needed is the pool's own batch barrier.
+func (r *runner[T]) workerRand(w int, seed int64) *rand.Rand {
+	if r.workerRands[w] == nil {
+		r.workerRands[w] = rand.New(rand.NewSource(seed))
+	} else {
+		r.workerRands[w].Seed(seed)
 	}
-	results := make([]groupResult, 0, len(comps))
+	return r.workerRands[w]
+}
+
+// classifyStep compares a group's before and after states as multisets.
+// proper reports a change under the problem's equality (tolerance-aware
+// for geometry) — these count as group steps; changed reports any change
+// under the total order cmp — these must repair the incremental snapshot
+// even when tolerance calls them stutters, because the positional states
+// did change. It sorts scratch copies and compares zero-copy views, so the
+// hot path allocates nothing.
+func (r *runner[T]) classifyStep(before, after []T) (proper, changed bool) {
+	r.sortA = append(r.sortA[:0], before...)
+	r.sortB = append(r.sortB[:0], after...)
+	slices.SortFunc(r.sortA, r.cmp)
+	slices.SortFunc(r.sortB, r.cmp)
+	for i := range r.sortA {
+		if r.cmp(r.sortA[i], r.sortB[i]) != 0 {
+			changed = true
+			break
+		}
+	}
+	proper = !r.p.Equal(ms.View(r.cmp, r.sortA), ms.View(r.cmp, r.sortB))
+	return proper, changed
+}
+
+// stepComponents runs one ComponentMode round: every connected component
+// of up agents executes one group step; the worker pool runs components
+// concurrently when the round is large enough (groups are disjoint, so
+// writes never overlap).
+func (r *runner[T]) stepComponents(es env.State) int {
+	comps := r.g.ComponentsInto(es.EdgeUp, es.AgentUp, &r.compScratch)
+
+	r.jobs = r.jobs[:0]
+	arena := r.beforeArena[:0]
 	for _, comp := range comps {
 		// Disabled agents form singleton components that take no action;
 		// any component containing a down agent is necessarily that
-		// singleton (Components never joins down agents).
+		// singleton (components never join down agents).
 		if len(comp) == 1 && es.AgentUp != nil && !es.AgentUp[comp[0]] {
 			continue
 		}
-		before := make([]T, len(comp))
-		for i, a := range comp {
-			before[i] = states[a]
+		start := len(arena)
+		for _, a := range comp {
+			arena = append(arena, r.states[a])
 		}
-		results = append(results, groupResult{members: comp, before: before})
-	}
-
-	var wg sync.WaitGroup
-	for i := range results {
-		gr := &results[i]
-		// Deterministic per-group randomness independent of goroutine
-		// scheduling: derive a child seed from the master stream in group
+		// Deterministic per-group randomness independent of worker
+		// scheduling: child seeds are drawn from the master stream in group
 		// order (groups are deterministically ordered by smallest member).
-		childSeed := rng.Int63()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			gr.after = p.GroupStep(gr.before, rand.New(rand.NewSource(childSeed)))
-		}()
+		r.jobs = append(r.jobs, groupJob[T]{
+			members: comp,
+			before:  arena[start:len(arena):len(arena)],
+			seed:    r.seeder.GroupSeed(),
+		})
 	}
-	wg.Wait()
+	r.beforeArena = arena[:0]
 
-	cmp := p.Cmp()
-	for _, gr := range results {
-		beforeM := ms.New(cmp, gr.before...)
-		afterM := ms.New(cmp, gr.after...)
-		if opts.CheckSteps {
-			if v := core.CheckDStep(p.F(), p.H(), p.Equal, beforeM, afterM, opts.HEps); !v.OK {
-				res.Violations = append(res.Violations,
-					fmt.Sprintf("group %v: %v", gr.members, v))
+	r.pool.Do(len(r.jobs), r.stepFn)
+
+	for i := range r.jobs {
+		j := &r.jobs[i]
+		if r.opts.CheckSteps {
+			beforeM := ms.New(r.cmp, j.before...)
+			afterM := ms.New(r.cmp, j.after...)
+			if v := r.mon.VerifyStep(beforeM, afterM); !v.OK {
+				r.mon.AddViolation("group %v: %v", j.members, v)
 			}
 		}
-		if !p.Equal(beforeM, afterM) {
-			res.GroupSteps++
-			res.Messages += 2 * (len(gr.members) - 1)
+		proper, changed := r.classifyStep(j.before, j.after)
+		if proper {
+			r.res.GroupSteps++
+			r.res.Messages += 2 * (len(j.members) - 1)
 		}
-		for i, a := range gr.members {
-			states[a] = gr.after[i]
+		if changed {
+			r.tracker.Replace(j.before, j.after)
+		}
+		for idx, a := range j.members {
+			r.states[a] = j.after[idx]
 		}
 	}
-	return len(results)
+	return len(r.jobs)
 }
 
 // stepPairs runs one PairwiseMode round: a random maximal matching over
-// the available edges; each matched pair executes one PairStep.
-func (res *Result[T]) stepPairs(p core.Problem[T], edges []graph.Edge,
-	es env.State, states []T, rng *rand.Rand, opts Options) int {
-	// Collect usable edges (available, both endpoints up).
-	usable := make([]int, 0, len(edges))
+// the available edges; each matched pair executes one PairStep. Pair steps
+// share the master stream, so they run serially by construction.
+func (r *runner[T]) stepPairs(es env.State, rng *rand.Rand) int {
+	if r.edges == nil {
+		r.edges = r.g.Edges()
+		r.matched = make([]bool, len(r.states))
+	}
+	edges := r.edges
+
+	// Collect usable edges (available, both endpoints up) into the reusable
+	// scratch slice.
+	r.usable = r.usable[:0]
 	for id := range edges {
 		if es.EdgeUp != nil && !es.EdgeUp[id] {
 			continue
@@ -322,32 +435,39 @@ func (res *Result[T]) stepPairs(p core.Problem[T], edges []graph.Edge,
 		if es.AgentUp != nil && (!es.AgentUp[a] || !es.AgentUp[b]) {
 			continue
 		}
-		usable = append(usable, id)
+		r.usable = append(r.usable, id)
 	}
-	rng.Shuffle(len(usable), func(i, j int) { usable[i], usable[j] = usable[j], usable[i] })
-	matched := make(map[int]bool, len(states))
+	rng.Shuffle(len(r.usable), func(i, j int) { r.usable[i], r.usable[j] = r.usable[j], r.usable[i] })
+	for i := range r.matched {
+		r.matched[i] = false
+	}
 	pairs := 0
-	cmp := p.Cmp()
-	for _, id := range usable {
+	for _, id := range r.usable {
 		a, b := edges[id].A, edges[id].B
-		if matched[a] || matched[b] {
+		if r.matched[a] || r.matched[b] {
 			continue
 		}
-		matched[a], matched[b] = true, true
-		na, nb := p.PairStep(states[a], states[b], rng)
-		beforeM := ms.New(cmp, states[a], states[b])
-		afterM := ms.New(cmp, na, nb)
-		if opts.CheckSteps {
-			if v := core.CheckDStep(p.F(), p.H(), p.Equal, beforeM, afterM, opts.HEps); !v.OK {
-				res.Violations = append(res.Violations,
-					fmt.Sprintf("pair (%d,%d): %v", a, b, v))
+		r.matched[a], r.matched[b] = true, true
+		oa, ob := r.states[a], r.states[b]
+		na, nb := r.p.PairStep(oa, ob, rng)
+		if r.opts.CheckSteps {
+			beforeM := ms.New(r.cmp, oa, ob)
+			afterM := ms.New(r.cmp, na, nb)
+			if v := r.mon.VerifyStep(beforeM, afterM); !v.OK {
+				r.mon.AddViolation("pair (%d,%d): %v", a, b, v)
 			}
 		}
-		if !p.Equal(beforeM, afterM) {
-			res.GroupSteps++
-			res.Messages += 2
+		r.pairOld[0], r.pairOld[1] = oa, ob
+		r.pairNew[0], r.pairNew[1] = na, nb
+		proper, changed := r.classifyStep(r.pairOld[:], r.pairNew[:])
+		if proper {
+			r.res.GroupSteps++
+			r.res.Messages += 2
 		}
-		states[a], states[b] = na, nb
+		if changed {
+			r.tracker.Replace(r.pairOld[:], r.pairNew[:])
+		}
+		r.states[a], r.states[b] = na, nb
 		pairs++
 	}
 	return pairs

@@ -25,7 +25,10 @@
 //   - Engines: a round-based simulator matching the paper's execution
 //     model exactly (with built-in runtime verification of the
 //     conservation law and the D-step discipline), and an asynchronous
-//     goroutine-per-agent message-passing runtime.
+//     goroutine-per-agent message-passing runtime. Both are built on one
+//     shared engine core (monitors, convergence detection, deterministic
+//     seeding, worker pool) with an allocation-free round hot path; see
+//     DESIGN.md for the architecture.
 //   - Checkers: machine verification of idempotence, super-idempotence,
 //     the local-to-global properties, and exhaustive model checking of
 //     the paper's proof obligations on small instances.
@@ -253,6 +256,13 @@ const (
 	ComponentMode = sim.ComponentMode
 	PairwiseMode  = sim.PairwiseMode
 )
+
+// DefaultParallelThreshold is the per-round group count at which the
+// round engine fans group steps out to its persistent worker pool (sized
+// to GOMAXPROCS). Options.ParallelThreshold overrides it; results are
+// bit-for-bit identical either way, because every group steps on a
+// private stream seeded in deterministic group order. See DESIGN.md §2.
+const DefaultParallelThreshold = sim.DefaultParallelThreshold
 
 // Simulate runs the round-based engine (the paper's execution model) for
 // problem p over environment e from the given initial states.
