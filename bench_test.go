@@ -117,6 +117,27 @@ func BenchmarkSimPairwiseComplete32(b *testing.B) {
 	}
 }
 
+// BenchmarkSimShardedRing10k measures the sharded state layout end to
+// end: min consensus on a 10⁴-ring at 99% availability, 4 shards, fixed
+// seed — the per-round delta staging, parallel shard repair, P-way merged
+// snapshot, and sharded monitor reduction all on the hot path.
+func BenchmarkSimShardedRing10k(b *testing.B) {
+	g := Ring(10_000)
+	vals := rand.New(rand.NewSource(7)).Perm(40_000)[:10_000]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate[int](NewMin(), EdgeChurn(g, 0.99), vals,
+			Options{Seed: 7, StopOnConverged: true, MaxRounds: 200_000, Shards: 4})
+		if err != nil || !res.Converged {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkE15Scaling regenerates the 10⁴–10⁵-agent scaling study.
+func BenchmarkE15Scaling(b *testing.B) { benchSection(b, experiments.E15Scaling) }
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkEngineRoundRing64 measures one simulated system per iteration:

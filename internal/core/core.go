@@ -64,6 +64,86 @@ type funcAdapter[T any] struct {
 func (f funcAdapter[T]) Name() string                          { return f.name }
 func (f funcAdapter[T]) Apply(x ms.Multiset[T]) ms.Multiset[T] { return f.apply(x) }
 
+// IntoFunction is the optional allocation-free fast path of a Function:
+// ApplyInto appends the elements of f(x) to dst in canonical (sorted)
+// order and returns the extended slice, allocating only when dst must
+// grow. Engines that evaluate f every round (the conservation-law check)
+// detect this interface via ApplyInto below and reuse one buffer for the
+// lifetime of a run.
+type IntoFunction[T any] interface {
+	Function[T]
+	ApplyInto(dst []T, x ms.Multiset[T]) []T
+}
+
+// ApplyInto evaluates f(x) through the IntoFunction fast path when f
+// provides one: the result elements are written into buf (reused across
+// calls; pass the returned slice back in) and the returned multiset is a
+// zero-copy view of it, invalidated by the next call with the same
+// buffer. Functions without the fast path fall back to Apply, in which
+// case the result owns its storage and buf passes through unchanged.
+func ApplyInto[T any](f Function[T], buf []T, x ms.Multiset[T]) (ms.Multiset[T], []T) {
+	if into, ok := f.(IntoFunction[T]); ok {
+		buf = into.ApplyInto(buf[:0], x)
+		return ms.View(x.Cmp(), buf), buf
+	}
+	return f.Apply(x), buf
+}
+
+// FuncOfInto adapts a plain Go function plus its into-buffer fast path
+// into an IntoFunction. applyInto must append the same elements Apply
+// would produce, in canonical order, to its dst argument.
+func FuncOfInto[T any](name string, apply func(ms.Multiset[T]) ms.Multiset[T],
+	applyInto func(dst []T, x ms.Multiset[T]) []T) IntoFunction[T] {
+	return intoFuncAdapter[T]{funcAdapter[T]{name: name, apply: apply}, applyInto}
+}
+
+type intoFuncAdapter[T any] struct {
+	funcAdapter[T]
+	applyInto func(dst []T, x ms.Multiset[T]) []T
+}
+
+func (f intoFuncAdapter[T]) ApplyInto(dst []T, x ms.Multiset[T]) []T { return f.applyInto(dst, x) }
+
+// SuperIdempotentFunction is an optional marker a Function carries to
+// assert the §3.4 structural condition f(X ∪ Y) = f(f(X) ∪ Y). The
+// sharded monitor reduction (engine.Monitor.ObserveRoundSharded) checks
+// conservation through per-shard partial images f(S_i) — an equality
+// that holds exactly when f is super-idempotent — so it takes the
+// partial-image path only for marked functions and falls back to
+// evaluating f on the merged global snapshot otherwise. Marking a
+// function that is NOT super-idempotent makes the sharded conservation
+// verdict diverge from the unsharded one; problems should mark f only
+// when the property is established (the checkers in this package, the E9
+// classification).
+type SuperIdempotentFunction interface {
+	// SuperIdempotentF is a marker method; it carries no behavior.
+	SuperIdempotentF()
+}
+
+// IsSuperIdempotent reports whether f carries the super-idempotence
+// marker (possibly through MarkSuperIdempotent).
+func IsSuperIdempotent[T any](f Function[T]) bool {
+	_, ok := f.(SuperIdempotentFunction)
+	return ok
+}
+
+// MarkSuperIdempotent wraps f with the SuperIdempotentFunction marker,
+// preserving the IntoFunction fast path when f provides one.
+func MarkSuperIdempotent[T any](f Function[T]) Function[T] {
+	if into, ok := f.(IntoFunction[T]); ok {
+		return superIntoFunc[T]{into}
+	}
+	return superFunc[T]{f}
+}
+
+type superFunc[T any] struct{ Function[T] }
+
+func (superFunc[T]) SuperIdempotentF() {}
+
+type superIntoFunc[T any] struct{ IntoFunction[T] }
+
+func (superIntoFunc[T]) SuperIdempotentF() {}
+
 // Variant is the paper's variant (objective) function h over group states
 // (§3.5). Its range must be well-founded for the order >; integer-valued
 // variants are represented exactly in float64 far beyond the sizes used

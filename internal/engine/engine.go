@@ -48,6 +48,15 @@ type Monitor[T any] struct {
 	target     ms.Multiset[T]
 	lastH      float64
 	violations []string
+	// fBuf backs the per-round f evaluation when f provides the
+	// core.IntoFunction fast path, so the conservation check allocates
+	// nothing in steady state.
+	fBuf []T
+	// Sharded-observation scratch (see ObserveRoundSharded): per-shard f
+	// images, their backing buffers, and the merger that reduces them.
+	partials    []ms.Multiset[T]
+	partialBufs [][]T
+	partialMrg  *ms.Merger[T]
 }
 
 // NewMonitor builds a Monitor for problem p from the initial state
@@ -65,13 +74,26 @@ func (m *Monitor[T]) Target() ms.Multiset[T] { return m.target }
 
 // ObserveRound checks the global state after a round: the conservation law
 // f(S) = S* and the monotone descent of h relative to the previous
-// observation. It returns the current h value.
+// observation. It returns the current h value. f is evaluated through the
+// core.ApplyInto fast path into a monitor-owned buffer, so for functions
+// that provide it the check allocates nothing.
 func (m *Monitor[T]) ObserveRound(round int, now ms.Multiset[T]) float64 {
-	if !m.equal(m.f.Apply(now), m.target) {
+	var fx ms.Multiset[T]
+	fx, m.fBuf = core.ApplyInto(m.f, m.fBuf, now)
+	return m.judge(round, fx, now)
+}
+
+// judge is the verdict tail shared by ObserveRound and
+// ObserveRoundSharded: the conservation verdict on the (already
+// evaluated) f image fx, and the descent check of h on the global state —
+// one copy, so the sharded and unsharded monitors cannot drift apart in
+// message format or slack handling.
+func (m *Monitor[T]) judge(round int, fx, global ms.Multiset[T]) float64 {
+	if !m.equal(fx, m.target) {
 		m.violations = append(m.violations,
 			fmt.Sprintf("round %d: conservation law violated: f(S) ≠ S*", round))
 	}
-	nowH := m.h.Value(now)
+	nowH := m.h.Value(global)
 	if nowH > m.lastH+m.hEps {
 		m.violations = append(m.violations,
 			fmt.Sprintf("round %d: variant increased %g → %g", round, m.lastH, nowH))
@@ -86,7 +108,9 @@ func (m *Monitor[T]) ObserveRound(round int, now ms.Multiset[T]) float64 {
 // through transient states while a pair exchange is in flight, so the
 // invariants are asserted at quiescence).
 func (m *Monitor[T]) ObserveQuiescence(final ms.Multiset[T]) {
-	if !m.equal(m.f.Apply(final), m.target) {
+	var fx ms.Multiset[T]
+	fx, m.fBuf = core.ApplyInto(m.f, m.fBuf, final)
+	if !m.equal(fx, m.target) {
 		m.violations = append(m.violations,
 			"quiescence: conservation law violated: f(S) ≠ S*")
 	}

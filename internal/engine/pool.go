@@ -51,12 +51,25 @@ func (p *Pool) Size() int { return p.size }
 // Do runs fn(worker, i) for every i in [0, n) and returns when all calls
 // have finished. Calls may run concurrently across distinct worker
 // indices; the caller participates as worker 0. Do must not be called
-// concurrently with itself or after Close.
+// concurrently with itself, with DoAll, or after Close.
 func (p *Pool) Do(n int, fn func(worker, i int)) {
+	p.run(n, fn, n >= p.threshold)
+}
+
+// DoAll is Do without the engagement threshold: the batch fans out to the
+// workers whenever the pool has more than one slot, regardless of n. It
+// is for batches whose per-item work is large even when n is small —
+// per-shard state maintenance, where n is the shard count but each item
+// repairs an entire shard. The same exclusivity rules as Do apply.
+func (p *Pool) DoAll(n int, fn func(worker, i int)) {
+	p.run(n, fn, true)
+}
+
+func (p *Pool) run(n int, fn func(worker, i int), engage bool) {
 	if n <= 0 {
 		return
 	}
-	if p.size <= 1 || n < p.threshold {
+	if p.size <= 1 || !engage {
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}

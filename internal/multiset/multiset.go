@@ -129,39 +129,80 @@ func (m Multiset[T]) Add(v T) Multiset[T] {
 	return Multiset[T]{cmp: m.cmp, elems: out}
 }
 
-// Union returns the multiset union m ∪ other (multiplicities add). This is
-// the bold-∪ of the paper: the state of a group B∪C is S_B ∪ S_C.
-func (m Multiset[T]) Union(other Multiset[T]) Multiset[T] {
+// mergeCmp resolves the comparison function for a binary operation on m
+// and other, preferring m's. Operations on two zero-value (nil-cmp)
+// multisets are well defined only while no elements need comparing; the
+// first operation that would actually have to compare panics with a clear
+// message instead of silently producing a poisoned nil-cmp multiset that
+// crashes far from the bug (inside sort.Search, rounds later).
+func (m Multiset[T]) mergeCmp(other Multiset[T], op string) Cmp[T] {
 	cmp := m.cmp
 	if cmp == nil {
 		cmp = other.cmp
 	}
-	out := make([]T, 0, len(m.elems)+len(other.elems))
+	if cmp == nil && (len(m.elems) > 0 || len(other.elems) > 0) {
+		panic("multiset." + op + ": both operands have a nil comparison function (zero-value Multiset); build operands with New/FromSorted/View")
+	}
+	return cmp
+}
+
+// mergeAppend appends the sorted merge of a and b to dst — the shared
+// core of Union, UnionInto, and Merger.Union. Ties emit a's element
+// first, which is what makes every union in this package stable by
+// operand order. dst must not alias a or b.
+func mergeAppend[T any](dst []T, cmp Cmp[T], a, b []T) []T {
 	i, j := 0, 0
-	for i < len(m.elems) && j < len(other.elems) {
-		if cmp(m.elems[i], other.elems[j]) <= 0 {
-			out = append(out, m.elems[i])
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			dst = append(dst, a[i])
 			i++
 		} else {
-			out = append(out, other.elems[j])
+			dst = append(dst, b[j])
 			j++
 		}
 	}
-	out = append(out, m.elems[i:]...)
-	out = append(out, other.elems[j:]...)
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// Union returns the multiset union m ∪ other (multiplicities add). This is
+// the bold-∪ of the paper: the state of a group B∪C is S_B ∪ S_C.
+//
+// The zero value is a usable empty operand: the result adopts the other
+// operand's comparison function. A union of two non-empty nil-cmp
+// multisets panics early with a descriptive message.
+func (m Multiset[T]) Union(other Multiset[T]) Multiset[T] {
+	cmp := m.mergeCmp(other, "Union")
+	out := mergeAppend(make([]T, 0, len(m.elems)+len(other.elems)), cmp, m.elems, other.elems)
 	return Multiset[T]{cmp: cmp, elems: out}
 }
 
+// UnionInto is Union into a caller-owned buffer: the merged elements are
+// appended to buf[:0] (grown as needed) and the result is a zero-copy
+// view of it. The returned buffer must be passed back in (or otherwise
+// retained) to be reused; the view is invalidated by the next mutation
+// of the buffer. Neither operand may alias buf. It is the two-operand
+// sibling of Merger for callers that repeatedly merge exactly two
+// multisets and must not allocate in steady state.
+func (m Multiset[T]) UnionInto(other Multiset[T], buf []T) (Multiset[T], []T) {
+	cmp := m.mergeCmp(other, "UnionInto")
+	out := mergeAppend(buf[:0], cmp, m.elems, other.elems)
+	return Multiset[T]{cmp: cmp, elems: out}, out
+}
+
 // Equal reports multiset equality: same cardinality and pairwise-equal
-// canonical forms under the comparison function.
+// canonical forms under the comparison function. Two empty multisets are
+// equal regardless of comparison functions (so the zero value is safe to
+// compare); comparing two non-empty nil-cmp multisets panics early with a
+// descriptive message.
 func (m Multiset[T]) Equal(other Multiset[T]) bool {
 	if len(m.elems) != len(other.elems) {
 		return false
 	}
-	cmp := m.cmp
-	if cmp == nil {
-		cmp = other.cmp
+	if len(m.elems) == 0 {
+		return true
 	}
+	cmp := m.mergeCmp(other, "Equal")
 	for i := range m.elems {
 		if cmp(m.elems[i], other.elems[i]) != 0 {
 			return false
@@ -325,6 +366,77 @@ func (t *Tracker[T]) Replace(olds, news []T) {
 	}
 	t.mergeBuf = t.elems[:0]
 	t.elems = out
+}
+
+// Merger performs repeated P-way multiset unions into reusable merge
+// buffers — the reduction step of a sharded state layout, where the
+// global snapshot S = S_1 ∪ … ∪ S_P is rebuilt from per-shard sorted
+// views every round. Where Union allocates a fresh slice per call, a
+// Merger owns two ping-pong output buffers and the per-level segment
+// scratch for the lifetime of a run and allocates nothing once they have
+// grown to a steady state. The merge is a bottom-up tournament of 2-way
+// merges — O(total · log P), so the sequential reduction stays flat as
+// the shard count grows with the core count.
+type Merger[T any] struct {
+	cmp        Cmp[T]
+	bufA, bufB []T
+	cur, next  [][]T
+}
+
+// NewMerger builds a Merger using cmp as the total order.
+func NewMerger[T any](cmp Cmp[T]) *Merger[T] {
+	return &Merger[T]{cmp: cmp}
+}
+
+// Union merges the given multisets (each sorted by the Merger's cmp) into
+// the internal buffers and returns a zero-copy view of the result. Ties
+// are emitted lowest-operand-first (the tournament pairs adjacent
+// operands and mergeAppend is left-stable), so the output is
+// deterministic. The view is invalidated by the next Union call; callers
+// that retain it must copy it first. Operands must not alias the
+// Merger's buffers (i.e. must not be a previous Union result).
+func (g *Merger[T]) Union(sets ...Multiset[T]) Multiset[T] {
+	cur := g.cur[:0]
+	for _, s := range sets {
+		if len(s.elems) > 0 {
+			cur = append(cur, s.elems)
+		}
+	}
+	switch len(cur) {
+	case 0:
+		g.cur = cur
+		return Multiset[T]{cmp: g.cmp, elems: g.bufA[:0]}
+	case 1:
+		// Copy so the result honors the "operands never alias the
+		// buffers" contract for the NEXT Union.
+		g.bufA = append(g.bufA[:0], cur[0]...)
+		g.cur = cur[:0]
+		return Multiset[T]{cmp: g.cmp, elems: g.bufA}
+	}
+	out, spare := g.bufA, g.bufB
+	for len(cur) > 1 {
+		// Invariant: every segment this level PRODUCES — merged pairs and
+		// the copied odd tail alike — lives in out, so the next level's
+		// inputs never alias the buffer it writes to (spare).
+		out = out[:0]
+		next := g.next[:0]
+		for i := 0; i+1 < len(cur); i += 2 {
+			start := len(out)
+			out = mergeAppend(out, g.cmp, cur[i], cur[i+1])
+			next = append(next, out[start:len(out):len(out)])
+		}
+		if len(cur)%2 == 1 {
+			start := len(out)
+			out = append(out, cur[len(cur)-1]...)
+			next = append(next, out[start:len(out):len(out)])
+		}
+		g.next = cur[:0] // recycle the level scratch
+		cur = next
+		out, spare = spare, out
+	}
+	g.cur = cur[:0]
+	g.bufA, g.bufB = out, spare // spare holds the result; out is dead
+	return Multiset[T]{cmp: g.cmp, elems: cur[0]}
 }
 
 // OrderedCmp returns a Cmp for any ordered primitive type.

@@ -3,6 +3,7 @@ package multiset
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -305,4 +306,132 @@ func FuzzUnionInvariants(f *testing.F) {
 			}
 		}
 	})
+}
+
+// --- Zero-value (nil-cmp) safety regressions ---
+
+// TestZeroValueUnionEqualSafe: two zero-value multisets must union and
+// compare without producing a multiset that panics far from the bug.
+func TestZeroValueUnionEqualSafe(t *testing.T) {
+	var a, b Multiset[int]
+	u := a.Union(b)
+	if u.Len() != 0 || !u.IsEmpty() {
+		t.Fatalf("zero ∪ zero = %v, want empty", u)
+	}
+	if !a.Equal(b) {
+		t.Error("zero-value multisets must be equal")
+	}
+	// The empty result stays usable with the zero-value-safe API.
+	if got := u.Elements(); len(got) != 0 {
+		t.Errorf("Elements() = %v", got)
+	}
+	// Union with a cmp-carrying operand adopts its order and is fully
+	// usable afterwards.
+	w := a.Union(OfInts(2, 1))
+	if w.Len() != 2 || !w.Contains(1) || w.At(0) != 1 {
+		t.Errorf("zero ∪ {1,2} = %v", w)
+	}
+	if !OfInts(1, 2).Equal(w) || !w.Equal(OfInts(1, 2)) {
+		t.Error("adopted-cmp union does not compare equal to {1,2}")
+	}
+}
+
+// TestNilCmpPanicsEarly: operations that would actually need to compare
+// elements of two nil-cmp multisets must panic with a descriptive message
+// at the call site, not later inside sort.Search.
+func TestNilCmpPanicsEarly(t *testing.T) {
+	poisoned := Multiset[int]{elems: []int{1, 2}} // non-canonical construction
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s on nil-cmp multisets did not panic", name)
+				return
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "nil comparison function") {
+				t.Errorf("%s panic message %v not descriptive", name, r)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Union", func() { _ = poisoned.Union(poisoned) })
+	expectPanic("UnionInto", func() { _, _ = poisoned.UnionInto(poisoned, nil) })
+	expectPanic("Equal", func() { _ = poisoned.Equal(poisoned) })
+}
+
+// --- UnionInto / Merger ---
+
+func TestUnionIntoMatchesUnion(t *testing.T) {
+	a := OfInts(5, 1, 3, 3)
+	b := OfInts(2, 3, 9)
+	var buf []int
+	got, buf := a.UnionInto(b, buf)
+	if !got.Equal(a.Union(b)) {
+		t.Fatalf("UnionInto = %v, want %v", got, a.Union(b))
+	}
+	// Reuse: the same buffer must back the next merge without allocating.
+	allocs := testing.AllocsPerRun(100, func() {
+		_, buf = a.UnionInto(b, buf)
+	})
+	if allocs != 0 {
+		t.Errorf("UnionInto with warm buffer allocated %.0f times per run", allocs)
+	}
+	// Zero-value left operand adopts the right operand's cmp.
+	var z Multiset[int]
+	v, _ := z.UnionInto(b, nil)
+	if !v.Equal(b) {
+		t.Errorf("zero UnionInto b = %v, want %v", v, b)
+	}
+}
+
+func TestMergerKWay(t *testing.T) {
+	cmp := OrderedCmp[int]()
+	g := NewMerger(cmp)
+	sets := []Multiset[int]{OfInts(4, 1), OfInts(2, 2, 7), OfInts(), OfInts(3)}
+	want := OfInts(1, 2, 2, 3, 4, 7)
+	got := g.Union(sets...)
+	if !got.Equal(want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	// Deterministic and allocation-free once warm.
+	allocs := testing.AllocsPerRun(100, func() {
+		if !g.Union(sets...).Equal(want) {
+			t.Fatal("warm merge diverged")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Merger.Union allocated %.0f times per run", allocs)
+	}
+	// Degenerate arities.
+	if !g.Union().IsEmpty() {
+		t.Error("empty merge not empty")
+	}
+	if one := g.Union(OfInts(9, 9)); !one.Equal(OfInts(9, 9)) {
+		t.Errorf("1-way merge = %v", one)
+	}
+}
+
+// TestMergerMatchesFoldedUnion cross-checks the k-way merge against a fold
+// of binary unions on randomized inputs.
+func TestMergerMatchesFoldedUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cmp := OrderedCmp[int]()
+	g := NewMerger(cmp)
+	for trial := 0; trial < 200; trial++ {
+		p := 1 + rng.Intn(6)
+		sets := make([]Multiset[int], p)
+		want := New(cmp)
+		for i := range sets {
+			vals := make([]int, rng.Intn(8))
+			for j := range vals {
+				vals[j] = rng.Intn(10)
+			}
+			sets[i] = OfInts(vals...)
+			want = want.Union(sets[i])
+		}
+		if got := g.Union(sets...); !got.Equal(want) {
+			t.Fatalf("trial %d: merge %v != folded union %v", trial, got, want)
+		}
+	}
 }

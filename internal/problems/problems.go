@@ -47,3 +47,18 @@ func copyStates[T any](states []T) []T {
 	copy(out, states)
 	return out
 }
+
+// fillInto appends n copies of v to dst — the shared shape of the
+// core.IntoFunction fast paths of the consensus functions (min, max, gcd,
+// average), whose image is a constant multiset and therefore trivially in
+// canonical order. When ok is false (the empty multiset has no
+// representative) nothing is appended.
+func fillInto[T any](dst []T, n int, v T, ok bool) []T {
+	if !ok {
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, v)
+	}
+	return dst
+}

@@ -41,15 +41,22 @@ func (*Min) Requirement() core.Requirement { return core.AnyConnected }
 func (*Min) Equal(a, b ms.Multiset[int]) bool { return eqExact(a, b) }
 
 // MinF is the paper's f for §4.1: all values become the minimum.
-// f({3,5,3,7}) = {3,3,3,3}.
+// f({3,5,3,7}) = {3,3,3,3}. It carries the core.IntoFunction fast path so
+// the engines' per-round conservation check can evaluate f without
+// allocating.
 func MinF() core.Function[int] {
-	return core.FuncOf("min", func(x ms.Multiset[int]) ms.Multiset[int] {
-		m, ok := x.Min()
-		if !ok {
-			return x
-		}
-		return x.Map(func(int) int { return m })
-	})
+	return core.MarkSuperIdempotent[int](core.FuncOfInto("min",
+		func(x ms.Multiset[int]) ms.Multiset[int] {
+			m, ok := x.Min()
+			if !ok {
+				return x
+			}
+			return x.Map(func(int) int { return m })
+		},
+		func(dst []int, x ms.Multiset[int]) []int {
+			m, ok := x.Min()
+			return fillInto(dst, x.Len(), m, ok)
+		}))
 }
 
 // F implements core.Problem.
@@ -119,13 +126,18 @@ func (*Max) Equal(a, b ms.Multiset[int]) bool { return eqExact(a, b) }
 
 // MaxF is f for the maximum: all values become the maximum.
 func MaxF() core.Function[int] {
-	return core.FuncOf("max", func(x ms.Multiset[int]) ms.Multiset[int] {
-		m, ok := x.Max()
-		if !ok {
-			return x
-		}
-		return x.Map(func(int) int { return m })
-	})
+	return core.MarkSuperIdempotent[int](core.FuncOfInto("max",
+		func(x ms.Multiset[int]) ms.Multiset[int] {
+			m, ok := x.Max()
+			if !ok {
+				return x
+			}
+			return x.Map(func(int) int { return m })
+		},
+		func(dst []int, x ms.Multiset[int]) []int {
+			m, ok := x.Max()
+			return fillInto(dst, x.Len(), m, ok)
+		}))
 }
 
 // F implements core.Problem.
@@ -190,14 +202,31 @@ func (*Sum) Equal(a, b ms.Multiset[int]) bool { return eqExact(a, b) }
 // SumF is f for §4.2: the total with multiplicity 1, zero with
 // multiplicity N−1.
 func SumF() core.Function[int] {
-	return core.FuncOf("sum", func(x ms.Multiset[int]) ms.Multiset[int] {
-		if x.IsEmpty() {
-			return x
-		}
-		out := make([]int, x.Len())
-		out[0] = ms.SumInts(x)
-		return ms.New(x.Cmp(), out...)
-	})
+	return core.MarkSuperIdempotent[int](core.FuncOfInto("sum",
+		func(x ms.Multiset[int]) ms.Multiset[int] {
+			if x.IsEmpty() {
+				return x
+			}
+			out := make([]int, x.Len())
+			out[0] = ms.SumInts(x)
+			return ms.New(x.Cmp(), out...)
+		},
+		func(dst []int, x ms.Multiset[int]) []int {
+			if x.IsEmpty() {
+				return dst
+			}
+			total := ms.SumInts(x)
+			if total <= 0 { // canonical order: a non-positive total sorts before the zeros
+				dst = append(dst, total)
+			}
+			for i := 0; i < x.Len()-1; i++ {
+				dst = append(dst, 0)
+			}
+			if total > 0 {
+				dst = append(dst, total)
+			}
+			return dst
+		}))
 }
 
 // F implements core.Problem.
@@ -298,13 +327,21 @@ func (p *Average) Equal(a, b ms.Multiset[float64]) bool {
 
 // AverageF is f for the mean: every value becomes the mean.
 func AverageF() core.Function[float64] {
-	return core.FuncOf("average", func(x ms.Multiset[float64]) ms.Multiset[float64] {
-		if x.IsEmpty() {
-			return x
-		}
-		mean := ms.SumFloats(x) / float64(x.Len())
-		return x.Map(func(float64) float64 { return mean })
-	})
+	return core.MarkSuperIdempotent[float64](core.FuncOfInto("average",
+		func(x ms.Multiset[float64]) ms.Multiset[float64] {
+			if x.IsEmpty() {
+				return x
+			}
+			mean := ms.SumFloats(x) / float64(x.Len())
+			return x.Map(func(float64) float64 { return mean })
+		},
+		func(dst []float64, x ms.Multiset[float64]) []float64 {
+			mean := 0.0
+			if !x.IsEmpty() {
+				mean = ms.SumFloats(x) / float64(x.Len())
+			}
+			return fillInto(dst, x.Len(), mean, !x.IsEmpty())
+		}))
 }
 
 // F implements core.Problem.
@@ -376,14 +413,22 @@ func gcd2(a, b int) int {
 
 // GCDF is f for gcd-consensus: all values become the gcd.
 func GCDF() core.Function[int] {
-	return core.FuncOf("gcd", func(x ms.Multiset[int]) ms.Multiset[int] {
-		if x.IsEmpty() {
-			return x
-		}
+	gcdOf := func(x ms.Multiset[int]) int {
 		g := 0
 		x.ForEach(func(v int) { g = gcd2(g, v) })
-		return x.Map(func(int) int { return g })
-	})
+		return g
+	}
+	return core.MarkSuperIdempotent[int](core.FuncOfInto("gcd",
+		func(x ms.Multiset[int]) ms.Multiset[int] {
+			if x.IsEmpty() {
+				return x
+			}
+			g := gcdOf(x)
+			return x.Map(func(int) int { return g })
+		},
+		func(dst []int, x ms.Multiset[int]) []int {
+			return fillInto(dst, x.Len(), gcdOf(x), !x.IsEmpty())
+		}))
 }
 
 // F implements core.Problem.

@@ -20,7 +20,14 @@
 //     initiator's half; a busy partner replies "busy" and nothing changes;
 //   - while awaiting the reply, the initiator answers its own inbox with
 //     "busy" so that two agents initiating at each other can never
-//     deadlock.
+//     deadlock;
+//   - a busy-rejected initiator backs off for a short randomized,
+//     exponentially growing window during which it SERVES its inbox
+//     instead of re-initiating. Without the backoff the system can
+//     phase-lock into a busy storm — every agent perpetually mid-initiate,
+//     every request answered "busy" — because an agent is receptive only
+//     in the tiny window between exchanges; the backoff both
+//     desynchronizes the retries and widens exactly that window.
 //
 // The pair transition is atomic at the partner, and the initiator admits
 // no other exchange while its half is in flight, so the two-agent multiset
@@ -38,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"time"
 
@@ -80,7 +88,22 @@ type Result[T any] struct {
 	Final []T
 	// Target is f(S(0)).
 	Target ms.Multiset[T]
+	// QuiescenceChecks counts how many times the quiescence detector
+	// examined the observation board. The detector is event-driven — it
+	// wakes only when an agent adopts a new state — so this is bounded by
+	// the number of adoptions (at most 2·Ops), never by wall-clock time;
+	// tests pin this bound to keep the busy-poll loop from coming back.
+	QuiescenceChecks int
 }
+
+// Busy-rejection backoff bounds: the window starts at minBackoff, doubles
+// per consecutive rejection up to maxBackoff, and resets on any completed
+// exchange. The actual wait is uniform in (0, window] (per-agent rng), so
+// two clashing agents almost surely desynchronize.
+const (
+	minBackoff = 2 * time.Microsecond
+	maxBackoff = 512 * time.Microsecond
+)
 
 type request[T any] struct {
 	state T
@@ -156,7 +179,10 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	links.refresh(opts.LinkUpProbability, envRng)
 
 	// Shared observation board: agents post their state after every
-	// adoption; the supervisor watches it for apparent convergence.
+	// adoption and nudge the quiescence detector, which re-examines the
+	// board only then — event-driven, no polling. The nudge channel has
+	// capacity 1 and posts never block on it: a pending nudge already
+	// guarantees the detector will read the board after this post.
 	type slot struct {
 		mu sync.Mutex
 		v  T
@@ -165,19 +191,27 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	for i := range board {
 		board[i] = &slot{v: initial[i]}
 	}
+	progress := make(chan struct{}, 1)
 	post := func(i int, v T) {
 		board[i].mu.Lock()
 		board[i].v = v
 		board[i].mu.Unlock()
+		select {
+		case progress <- struct{}{}:
+		default:
+		}
 	}
-	view := func() ms.Multiset[T] {
-		vals := make([]T, n)
-		for i := range vals {
+	// reached snapshots the board into a reusable sorted buffer and probes
+	// the convergence target — supervisor-only, zero allocation per check.
+	viewBuf := make([]T, n)
+	reached := func() bool {
+		for i := range viewBuf {
 			board[i].mu.Lock()
-			vals[i] = board[i].v
+			viewBuf[i] = board[i].v
 			board[i].mu.Unlock()
 		}
-		return ms.New(cmp, vals...)
+		slices.SortFunc(viewBuf, cmp)
+		return conv.Reached(ms.View(cmp, viewBuf))
 	}
 
 	inboxes := make([]chan request[T], n)
@@ -196,8 +230,13 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
 	defer cancel()
 
+	// budgetOut is closed exactly once, by the agent whose initiation
+	// brings opCount to MaxOps — the supervisor's event-driven signal that
+	// the run must wind down even if no further state change ever happens.
 	var opCount, properCount int64
 	var countMu sync.Mutex
+	budgetOut := make(chan struct{})
+	budgetClosed := false
 	budgetLeft := func() bool {
 		countMu.Lock()
 		defer countMu.Unlock()
@@ -214,6 +253,18 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 			defer func() { finals[a] = my }()
 			rng := rand.New(rand.NewSource(engine.AgentSeed(opts.Seed, a)))
 			inbox := inboxes[a]
+			// One reusable reply channel for the agent's whole lifetime:
+			// the initiator admits no other exchange while its half is in
+			// flight, so at most one reply is ever outstanding and the
+			// run allocates O(agents), not O(exchanges), reply channels.
+			replyCh := make(chan response[T], 1)
+			// One reusable backoff timer (created stopped; Reset arms it).
+			backoffTimer := time.NewTimer(time.Hour)
+			if !backoffTimer.Stop() {
+				<-backoffTimer.C
+			}
+			defer backoffTimer.Stop()
+			backoff := time.Duration(0)
 
 			serve := func(req request[T]) {
 				na, nb := p.PairStep(req.state, my, rng)
@@ -259,11 +310,14 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				if int(opCount)%opts.RefreshEvery == 0 {
 					links.refresh(opts.LinkUpProbability, envRng)
 				}
+				if !budgetClosed && int(opCount) >= opts.MaxOps {
+					budgetClosed = true
+					close(budgetOut)
+				}
 				countMu.Unlock()
 				if !links.isUp(pick.edge) {
 					continue
 				}
-				replyCh := make(chan response[T], 1)
 				select {
 				case inboxes[pick.agent] <- request[T]{state: my, reply: replyCh}:
 				case <-ctx.Done():
@@ -272,13 +326,17 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				// Await the reply; answer own inbox with busy meanwhile
 				// (prevents initiator-initiator deadlock).
 				before := my
+				rejected := false
 			awaitReply:
 				for {
 					select {
 					case <-ctx.Done():
 						return
 					case r := <-replyCh:
-						if !r.busy {
+						if r.busy {
+							rejected = true
+						} else {
+							backoff = 0
 							my = r.state
 							post(a, my)
 							if cmp(before, my) != 0 {
@@ -292,29 +350,56 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 						req.reply <- response[T]{busy: true}
 					}
 				}
+				if rejected {
+					// Receptive backoff: serve peers instead of re-initiating
+					// for a randomized, exponentially growing window (see the
+					// protocol notes in the package comment).
+					switch {
+					case backoff == 0:
+						backoff = minBackoff
+					case backoff < maxBackoff:
+						backoff *= 2
+					}
+					backoffTimer.Reset(time.Duration(1 + rng.Int63n(int64(backoff))))
+				backingOff:
+					for {
+						select {
+						case <-ctx.Done():
+							return
+						case req := <-inbox:
+							serve(req)
+						case <-backoffTimer.C:
+							break backingOff
+						}
+					}
+				}
 			}
 		}(a)
 	}
 
-	// Supervisor: watch the board for apparent convergence, then cancel.
+	// Quiescence detector: sleeps until an agent adopts a new state (or
+	// the op budget runs out), re-examines the board exactly then, and
+	// cancels the run at apparent convergence. The final verdict below is
+	// still computed from the authoritative post-join states, so the
+	// detector only decides WHEN to stop, never WHAT the answer is.
 	done := make(chan struct{})
+	checks := 0
 	go func() {
 		defer close(done)
 		for {
 			select {
 			case <-ctx.Done():
 				return
-			default:
+			case <-budgetOut:
+				cancel()
+				return
+			case <-progress:
 			}
-			if conv.Reached(view()) {
+			checks++
+			if reached() {
 				cancel()
 				return
 			}
-			if !budgetLeft() {
-				cancel()
-				return
-			}
-			time.Sleep(200 * time.Microsecond)
 		}
 	}()
 
@@ -324,6 +409,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	res.Final = finals
 	res.Ops = int(opCount)
 	res.ProperSteps = int(properCount)
+	res.QuiescenceChecks = checks
 	finalM := ms.New(cmp, finals...)
 	res.Converged = conv.Observe(res.Ops, finalM)
 	mon.ObserveQuiescence(finalM)

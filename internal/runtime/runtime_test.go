@@ -271,3 +271,75 @@ func TestGCDAsync(t *testing.T) {
 		t.Fatalf("gcd async: converged=%v final=%v", res.Converged, res.Final)
 	}
 }
+
+func TestQuiescenceIsEventDriven(t *testing.T) {
+	// The quiescence detector must examine the board only when an agent
+	// adopts a new state — at most two adoptions per initiated exchange —
+	// never on a wall-clock schedule. A poll loop (the old 200µs sleep
+	// loop) would make QuiescenceChecks grow with run DURATION and blow
+	// through this op-derived bound on any slow machine.
+	g := graph.Ring(8)
+	vals := []int{9, 4, 7, 1, 8, 2, 6, 5}
+	res, err := Run[int](problems.NewMin(), g, vals, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res.Final)
+	}
+	if res.QuiescenceChecks == 0 {
+		t.Error("no quiescence checks recorded on a converging run")
+	}
+	if limit := 2*res.Ops + 1; res.QuiescenceChecks > limit {
+		t.Errorf("QuiescenceChecks = %d exceeds the adoption bound %d (ops=%d): detector is polling",
+			res.QuiescenceChecks, limit, res.Ops)
+	}
+}
+
+func TestQuiescenceLatency(t *testing.T) {
+	// Convergence must be detected promptly after the last adoption: the
+	// run below takes a handful of exchanges, so total wall time must be
+	// nowhere near the 20s timeout the detector would otherwise sleep to.
+	g := graph.Ring(4)
+	start := time.Now()
+	res, err := Run[int](problems.NewMin(), g, []int{3, 1, 2, 4}, opts())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res.Final)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("quiescence took %v — detector is not event-driven", elapsed)
+	}
+}
+
+func TestBudgetSignalStopsWithoutProgress(t *testing.T) {
+	// A run that exhausts MaxOps without ever converging must stop on the
+	// budget signal, not the wall-clock timeout: links exist but the
+	// problem cannot converge further once values equalize per component…
+	// use a two-component graph (two disjoint edges) so the global min
+	// can never spread everywhere.
+	g, err := graph.New("two-pairs", 4, []graph.Edge{{A: 0, B: 1}, {A: 2, B: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts()
+	o.MaxOps = 200
+	o.Timeout = 30 * time.Second // long: the test must NOT need it
+	start := time.Now()
+	res, err := Run[int](problems.NewMin(), g, []int{4, 3, 2, 1}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("disconnected system cannot converge globally")
+	}
+	if res.Ops < o.MaxOps {
+		t.Errorf("stopped after %d ops, budget is %d", res.Ops, o.MaxOps)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("budget stop took %v — supervisor not woken by the budget signal", elapsed)
+	}
+}

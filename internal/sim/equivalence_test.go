@@ -196,6 +196,33 @@ func TestEngineEquivalenceGoldenParallel(t *testing.T) {
 	runGoldenCases(t, func(o *Options) { o.ParallelThreshold = 1 })
 }
 
+// TestEngineEquivalenceGoldenSharded re-runs every golden cell with the
+// sharded state layout forced on, for P ∈ {1, 4, GOMAXPROCS}. The shard
+// trackers plus P-way merged snapshot (and the sharded monitor reduction
+// f(f(S_1) ∪ … ∪ f(S_P))) must reproduce the seed engine bit for bit —
+// the conservation law holds for any partition of the agent multiset, so
+// the partition into shards cannot be observable in results.
+func TestEngineEquivalenceGoldenSharded(t *testing.T) {
+	for _, p := range []int{1, 4, goruntime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("shards=%d", p), func(t *testing.T) {
+			runGoldenCases(t, func(o *Options) { o.Shards = p })
+		})
+	}
+}
+
+// TestEngineEquivalenceGoldenShardedParallel forces sharding AND the
+// worker pool on together — shard repairs, group steps, and the per-shard
+// f partial images all fan out, and results must still match the
+// sequential seed engine exactly.
+func TestEngineEquivalenceGoldenShardedParallel(t *testing.T) {
+	old := goruntime.GOMAXPROCS(4)
+	defer goruntime.GOMAXPROCS(old)
+	runGoldenCases(t, func(o *Options) {
+		o.Shards = 3 // deliberately not a divisor of any case's agent count
+		o.ParallelThreshold = 1
+	})
+}
+
 func runGoldenCases(t *testing.T, tweak func(*Options)) {
 	t.Helper()
 	for _, c := range goldenCases() {

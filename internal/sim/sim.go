@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	goruntime "runtime"
 	"slices"
 
 	"repro/internal/core"
@@ -86,6 +87,13 @@ func (m Mode) String() string {
 // sweep are far cheaper than a hand-off, so the threshold is high.
 const DefaultParallelThreshold = 32
 
+// DefaultShardThreshold is the agent count at which Options.Shards == 0
+// switches the engine to the sharded state layout (GOMAXPROCS shards).
+// Below it the single-tracker layout is cheaper: the per-group
+// incremental repair already costs O(n) and sharding would only add merge
+// overhead. Results are bit-identical in both layouts.
+const DefaultShardThreshold = 1 << 14
+
 // Options configures a simulation run.
 type Options struct {
 	// MaxRounds bounds the run; 0 means the DefaultMaxRounds.
@@ -110,8 +118,19 @@ type Options struct {
 	// ParallelThreshold overrides DefaultParallelThreshold: the minimum
 	// number of groups in a round before group steps fan out to the
 	// persistent worker pool. 0 means the default; negative forces serial
-	// execution. Results are identical either way.
+	// execution of group steps. Results are identical either way.
 	ParallelThreshold int
+	// Shards selects the sharded state layout: the agent array is split
+	// into P contiguous shards, each owning its own multiset tracker with
+	// deltas staged per round, and the global snapshot for the monitors is
+	// a P-way merge of the shard views (see engine.Shards). 0 means auto —
+	// sharding engages with GOMAXPROCS shards once the system has at least
+	// DefaultShardThreshold agents; > 0 forces that many shards (clamped to
+	// the agent count); negative forces the single-tracker layout. Results
+	// are bit-identical in every layout — the conservation law S_{B∪C} =
+	// S_B ∪ S_C holds for any partition of the agent multiset, which is
+	// exactly the paper's license to shard.
+	Shards int
 	// OnRound, when non-nil, is called after every round with live
 	// progress — used by examples and the experiment harness to trace
 	// runs without retaining full traces.
@@ -181,11 +200,14 @@ type runner[T any] struct {
 	opts Options
 	cmp  ms.Cmp[T]
 
-	mon     *engine.Monitor[T]
-	conv    *engine.Convergence[T]
-	seeder  *engine.Seeder
-	pool    *engine.Pool
+	mon    *engine.Monitor[T]
+	conv   *engine.Convergence[T]
+	seeder *engine.Seeder
+	pool   *engine.Pool
+	// Exactly one of tracker (single-tracker layout) and shards (sharded
+	// layout) is non-nil; see Options.Shards.
 	tracker *ms.Tracker[T]
+	shards  *engine.Shards[T]
 
 	states []T
 	res    *Result[T]
@@ -198,11 +220,12 @@ type runner[T any] struct {
 	workerRands []*rand.Rand
 
 	// Pairwise-mode scratch.
-	usable  []int
-	matched []bool
-	edges   []graph.Edge
-	pairOld [2]T
-	pairNew [2]T
+	usable      []int
+	matched     []bool
+	edges       []graph.Edge
+	pairOld     [2]T
+	pairNew     [2]T
+	pairMembers [2]int
 
 	// Proper-step detection scratch (sorted copies of a group's before and
 	// after states, compared as zero-copy multiset views).
@@ -247,8 +270,13 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 	r.seeder = engine.NewSeeder(opts.Seed)
 	r.pool = engine.NewPool(0, threshold)
 	defer r.pool.Close()
-	r.tracker = ms.NewTracker(r.cmp, r.states)
-	r.mon = engine.NewMonitor(p, r.tracker.View(), opts.HEps)
+	switch shardCount := resolveShards(opts.Shards, g.N()); {
+	case shardCount > 0:
+		r.shards = engine.NewShards(r.cmp, r.states, shardCount)
+	default:
+		r.tracker = ms.NewTracker(r.cmp, r.states)
+	}
+	r.mon = engine.NewMonitor(p, r.snapshot(), opts.HEps)
 	r.conv = engine.NewConvergence(p.Equal, r.mon.Target())
 	r.res = &Result[T]{Target: r.mon.Target(), Probe: env.NewFairnessProbe(g.M())}
 	r.workerRands = make([]*rand.Rand, r.pool.Size())
@@ -269,7 +297,7 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 	}
 
 	res := r.res
-	if r.conv.Observe(0, r.tracker.View()) {
+	if r.conv.Observe(0, r.snapshot()) {
 		res.Converged = true
 	}
 
@@ -294,9 +322,19 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 		}
 
 		// Global monitors: conservation law and variant descent, on the
-		// incrementally maintained snapshot.
-		now := r.tracker.View()
-		nowH := r.mon.ObserveRound(round, now)
+		// incrementally maintained snapshot. The sharded layout first
+		// applies the round's staged deltas (one parallel repair per
+		// shard) and then reduces the per-shard views.
+		var now ms.Multiset[T]
+		var nowH float64
+		if r.shards != nil {
+			r.shards.Flush(r.pool)
+			now = r.shards.View()
+			nowH = r.mon.ObserveRoundSharded(round, now, r.shards, r.pool)
+		} else {
+			now = r.tracker.View()
+			nowH = r.mon.ObserveRound(round, now)
+		}
 		if opts.RecordH {
 			res.HTrace = append(res.HTrace, nowH)
 		}
@@ -320,6 +358,58 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 	res.Final = r.states
 	res.Violations = r.mon.Violations()
 	return res, nil
+}
+
+// resolveShards maps Options.Shards to a shard count for n agents: 0 when
+// the single-tracker layout should be used, otherwise the number of
+// shards for the sharded layout.
+func resolveShards(opt, n int) int {
+	switch {
+	case opt < 0:
+		return 0
+	case opt > 0:
+		if opt > n {
+			return n
+		}
+		return opt
+	case n >= DefaultShardThreshold:
+		return goruntime.GOMAXPROCS(0)
+	default:
+		return 0
+	}
+}
+
+// snapshot returns the current global state multiset as a zero-copy view,
+// invalidated by the next state mutation (or, in the sharded layout, the
+// next snapshot call).
+func (r *runner[T]) snapshot() ms.Multiset[T] {
+	if r.shards != nil {
+		return r.shards.View()
+	}
+	return r.tracker.View()
+}
+
+// applyDelta repairs the incremental snapshot after a group step (olds
+// and news are parallel slices along members). The single-tracker layout
+// repairs immediately, and only when the GROUP multiset changed — the
+// caller's `changed` — because a multiset-preserving permutation of the
+// group leaves the global multiset intact. The sharded layout must be
+// called for every executed step regardless: a permutation that crosses
+// shard boundaries (a swap stutter) changes the per-shard multisets even
+// though the group multiset is unchanged, so each member whose own value
+// changed is staged with its owning shard.
+func (r *runner[T]) applyDelta(members []int, olds, news []T, changed bool) {
+	if r.shards == nil {
+		if changed {
+			r.tracker.Replace(olds, news)
+		}
+		return
+	}
+	for i, a := range members {
+		if r.cmp(olds[i], news[i]) != 0 {
+			r.shards.Stage(a, olds[i], news[i])
+		}
+	}
 }
 
 // workerRand returns worker w's reusable random stream, reseeded in place:
@@ -404,9 +494,7 @@ func (r *runner[T]) stepComponents(es env.State) int {
 			r.res.GroupSteps++
 			r.res.Messages += 2 * (len(j.members) - 1)
 		}
-		if changed {
-			r.tracker.Replace(j.before, j.after)
-		}
+		r.applyDelta(j.members, j.before, j.after, changed)
 		for idx, a := range j.members {
 			r.states[a] = j.after[idx]
 		}
@@ -459,14 +547,13 @@ func (r *runner[T]) stepPairs(es env.State, rng *rand.Rand) int {
 		}
 		r.pairOld[0], r.pairOld[1] = oa, ob
 		r.pairNew[0], r.pairNew[1] = na, nb
+		r.pairMembers[0], r.pairMembers[1] = a, b
 		proper, changed := r.classifyStep(r.pairOld[:], r.pairNew[:])
 		if proper {
 			r.res.GroupSteps++
 			r.res.Messages += 2
 		}
-		if changed {
-			r.tracker.Replace(r.pairOld[:], r.pairNew[:])
-		}
+		r.applyDelta(r.pairMembers[:], r.pairOld[:], r.pairNew[:], changed)
 		r.states[a], r.states[b] = na, nb
 		pairs++
 	}

@@ -802,3 +802,80 @@ func TestSoakAllProblems(t *testing.T) {
 		}
 	})
 }
+
+// TestAutoShardingLargeRing: above DefaultShardThreshold agents the
+// engine auto-engages the sharded state layout (Options.Shards == 0) and
+// a large-N run stays correct end to end — this is the paper's
+// conservation-law license to shard exercised at scale.
+func TestAutoShardingLargeRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N run")
+	}
+	n := DefaultShardThreshold + 500
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = 1 + (i*2654435761)%(4*n) // strictly positive; plant the unique minimum
+	}
+	vals[n/3] = 0
+	res, err := Run[int](problems.NewMin(), env.NewEdgeChurn(graph.Ring(n), 0.99), vals,
+		Options{Seed: 5, StopOnConverged: true, MaxRounds: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("sharded large ring did not converge in %d rounds", res.Rounds)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("monitor violations: %v", res.Violations[0])
+	}
+	for i, v := range res.Final {
+		if v != 0 {
+			t.Fatalf("agent %d final %d, want 0", i, v)
+		}
+	}
+}
+
+// swapMin is Min with a PairStep that sometimes returns the pair SWAPPED
+// — a multiset-preserving positional permutation, i.e. a legal stutter
+// of D. It exists to pin a sharded-layout regression: such a permutation
+// leaves the GROUP multiset unchanged (so the single-tracker layout has
+// nothing to repair) but still changes the PER-SHARD multisets when the
+// pair crosses a shard boundary, so the sharded layout must stage it.
+type swapMin struct{ *problems.Min }
+
+func (s swapMin) PairStep(a, b int, rng *rand.Rand) (int, int) {
+	if a != b && rng.Intn(2) == 0 {
+		return b, a
+	}
+	m := a
+	if b < m {
+		m = b
+	}
+	return m, m
+}
+
+func TestShardedSwapStutterStaysConsistent(t *testing.T) {
+	// Before the fix, the swap desynced shard trackers from the
+	// positional states and a later proper step panicked inside
+	// Shards.Flush ("old value not present"). Shards=5 deliberately cuts
+	// the ring into blocks so swaps cross shard boundaries.
+	vals := []int{9, 4, 7, 1, 8, 2, 6, 5, 3, 0}
+	for _, shards := range []int{-1, 1, 5} {
+		res, err := Run[int](swapMin{problems.NewMin()}, env.NewEdgeChurn(graph.Ring(len(vals)), 0.9), vals,
+			Options{Seed: 11, StopOnConverged: true, Mode: PairwiseMode, MaxRounds: 5000, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !res.Converged {
+			t.Fatalf("shards=%d: did not converge: %v", shards, res.Final)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("shards=%d: violations: %v", shards, res.Violations[0])
+		}
+		for _, v := range res.Final {
+			if v != 0 {
+				t.Fatalf("shards=%d: final %v", shards, res.Final)
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Hard allocation budgets for the engine hot paths, enforced in CI.
+#
+# BenchmarkSimComponentRing64 pins the round-based engine's zero-alloc
+# round loop (the DESIGN.md budget: must stay under 1000 allocs/op; it
+# sits near 874, almost all of it one-time setup). BenchmarkAsyncRuntimeMin
+# pins the asynchronous runtime after the reusable-reply-channel and
+# receptive-backoff fixes: it runs near 500 allocs/op (scheduling-noisy),
+# and the budget of 1200 is far below the ~4000 allocs/op the
+# per-exchange-channel implementation cost, so a regression to
+# O(exchanges) allocation fails loudly.
+#
+# Benchmarks run one iteration with a fixed seed, so allocs/op is a stable
+# budget number for the simulator and a bounded-noise one for the runtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkAsyncRuntimeMin$' -benchtime=1x -benchmem .)
+echo "$out"
+
+fail=0
+check() {
+  local name=$1 budget=$2 allocs
+  allocs=$(echo "$out" | awk -v n="^$name" '$1 ~ n {print $(NF-1); exit}')
+  if [ -z "$allocs" ]; then
+    echo "BUDGET FAIL: $name: no benchmark output" >&2
+    fail=1
+    return
+  fi
+  if [ "$allocs" -gt "$budget" ]; then
+    echo "BUDGET FAIL: $name: $allocs allocs/op > budget $budget" >&2
+    fail=1
+  else
+    echo "BUDGET OK: $name: $allocs allocs/op <= $budget"
+  fi
+}
+
+check BenchmarkSimComponentRing64 1000
+check BenchmarkAsyncRuntimeMin 1200
+exit $fail
