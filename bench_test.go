@@ -135,6 +135,28 @@ func BenchmarkSimShardedRing10k(b *testing.B) {
 	}
 }
 
+// BenchmarkSimPairwiseSharded4k measures the sharded pairwise round end
+// to end: min gossip on a 4096-agent hypercube at 99% availability with
+// the partitioned matcher forced to 4 blocks (so the boundary
+// reconciliation pass is on the hot path), 4 state shards, fixed seed.
+// The per-round matching buffers are matcher-owned and reused, so
+// allocs/op is a stable budget number like the component path's
+// (enforced by scripts/check_alloc_budget.sh).
+func BenchmarkSimPairwiseSharded4k(b *testing.B) {
+	g := Hypercube(12)
+	vals := rand.New(rand.NewSource(9)).Perm(4 * g.N())[:g.N()]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate[int](NewMin(), EdgeChurn(g, 0.99), vals,
+			Options{Seed: 9, StopOnConverged: true, MaxRounds: 200_000,
+				Mode: PairwiseMode, Shards: 4, MatchBlocks: 4})
+		if err != nil || !res.Converged {
+			b.Fatal("run failed")
+		}
+	}
+}
+
 // BenchmarkE15Scaling regenerates the 10⁴–10⁵-agent scaling study.
 func BenchmarkE15Scaling(b *testing.B) { benchSection(b, experiments.E15Scaling) }
 

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The process-wide worker-slot budget.
+//
+// Every source of data parallelism in this repository — the engine Pool's
+// batch fan-out and the experiment harness's seed sweeps — draws its
+// EXTRA goroutines from this one budget of GOMAXPROCS−1 slots (the
+// calling goroutine always participates and needs no slot). Without it,
+// parallel sweeps that nest sharded runs oversubscribe multiplicatively:
+// GOMAXPROCS sweep workers × a GOMAXPROCS-sized pool inside each run is
+// GOMAXPROCS² runnable goroutines fighting over GOMAXPROCS cores, which
+// thrashes the scheduler exactly when the workload is largest.
+//
+// Acquisition is best-effort and non-blocking — a caller granted zero
+// slots simply runs its batch serially on its own goroutine — so nesting
+// can never deadlock, and because every parallel construct in the
+// repository is deterministic by seeding discipline (work items carry
+// their own seeds; distribution across workers is observationally
+// irrelevant), the grant size affects wall-clock only, never results.
+//
+// The budget is re-read from GOMAXPROCS at every acquisition, so tests
+// (and callers) that change GOMAXPROCS mid-process are honored.
+var slotBudget struct {
+	mu     sync.Mutex
+	active int // slots currently granted
+	peak   int // high-water mark of active, for tests/telemetry
+}
+
+// AcquireSlots grants up to want extra-worker slots (possibly zero) and
+// returns the number granted. The caller must pass the grant back to
+// ReleaseSlots when its parallel batch completes.
+func AcquireSlots(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	budget := runtime.GOMAXPROCS(0) - 1
+	slotBudget.mu.Lock()
+	defer slotBudget.mu.Unlock()
+	grant := budget - slotBudget.active
+	if grant > want {
+		grant = want
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	slotBudget.active += grant
+	if slotBudget.active > slotBudget.peak {
+		slotBudget.peak = slotBudget.active
+	}
+	return grant
+}
+
+// ReleaseSlots returns a grant obtained from AcquireSlots.
+func ReleaseSlots(grant int) {
+	if grant <= 0 {
+		return
+	}
+	slotBudget.mu.Lock()
+	defer slotBudget.mu.Unlock()
+	slotBudget.active -= grant
+	if slotBudget.active < 0 {
+		panic("engine.ReleaseSlots: more slots released than acquired")
+	}
+}
+
+// SlotPeak reports the high-water mark of concurrently granted slots
+// since the last ResetSlotPeak — the observable tests pin to prove that
+// nested sweeps never exceed the GOMAXPROCS−1 extra-worker budget.
+func SlotPeak() int {
+	slotBudget.mu.Lock()
+	defer slotBudget.mu.Unlock()
+	return slotBudget.peak
+}
+
+// ResetSlotPeak clears the high-water mark (the current active count is
+// untouched).
+func ResetSlotPeak() {
+	slotBudget.mu.Lock()
+	defer slotBudget.mu.Unlock()
+	slotBudget.peak = slotBudget.active
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAcquireReleaseSlots: grants never exceed GOMAXPROCS−1 outstanding,
+// zero-grant is fine, and release restores capacity.
+func TestAcquireReleaseSlots(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ResetSlotPeak()
+	a := AcquireSlots(2)
+	b := AcquireSlots(10)
+	if a+b > 3 {
+		t.Fatalf("granted %d+%d slots with a budget of 3", a, b)
+	}
+	c := AcquireSlots(10)
+	if a+b+c > 3 {
+		t.Fatalf("over-grant: %d outstanding", a+b+c)
+	}
+	ReleaseSlots(a)
+	ReleaseSlots(b)
+	ReleaseSlots(c)
+	if AcquireSlots(0) != 0 {
+		t.Error("want<=0 must grant nothing")
+	}
+	if d := AcquireSlots(10); d != 3 {
+		t.Errorf("after full release, granted %d of 3", d)
+	} else {
+		ReleaseSlots(d)
+	}
+	if peak := SlotPeak(); peak > 3 {
+		t.Errorf("peak %d exceeds budget 3", peak)
+	}
+}
+
+// TestNestedPoolsNeverOversubscribe: pools nested inside an already
+// parallel construct must keep the TOTAL number of concurrently running
+// work functions at or below GOMAXPROCS — the workers × shards goroutine
+// blow-up this budget exists to prevent. Concurrency is measured
+// directly, inside the leaf work function.
+func TestNestedPoolsNeverOversubscribe(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ResetSlotPeak()
+
+	var active, maxActive atomic.Int64
+	leaf := func(_, _ int) {
+		cur := active.Add(1)
+		for {
+			prev := maxActive.Load()
+			if cur <= prev || maxActive.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		active.Add(-1)
+	}
+
+	// Four outer "sweep workers", each driving its own sharded-style pool
+	// — without the shared budget this would be 4 pools × 3 extra workers
+	// + 4 callers = 16 concurrent leaves on 4 cores.
+	var wg sync.WaitGroup
+	outer := 4
+	grant := AcquireSlots(outer - 1) // the outer construct plays by the same rules
+	for w := 0; w < grant; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool := NewPool(4, 1)
+			defer pool.Close()
+			for batch := 0; batch < 5; batch++ {
+				pool.DoAll(8, leaf)
+			}
+		}()
+	}
+	pool := NewPool(4, 1)
+	for batch := 0; batch < 5; batch++ {
+		pool.DoAll(8, leaf)
+	}
+	pool.Close()
+	wg.Wait()
+	ReleaseSlots(grant)
+
+	if got := maxActive.Load(); got > int64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("observed %d concurrent work functions, budget allows %d",
+			got, runtime.GOMAXPROCS(0))
+	}
+	if peak := SlotPeak(); peak > runtime.GOMAXPROCS(0)-1 {
+		t.Errorf("slot peak %d exceeds budget %d", peak, runtime.GOMAXPROCS(0)-1)
+	} else if peak == 0 {
+		t.Error("budget never engaged — pool fan-out is not routed through AcquireSlots")
+	}
+}
+
+// TestPoolCallerPanicLeavesPoolReusable: a panic in a caller-side
+// callback (worker 0 is always the calling goroutine) must not leak
+// worker-slot grants or leave workers draining a dead batch — the pool
+// stays usable and the budget stays exact after the caller recovers.
+func TestPoolCallerPanicLeavesPoolReusable(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	pool := NewPool(4, 1)
+	defer pool.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the callback panic to propagate")
+			}
+		}()
+		pool.DoAll(8, func(worker, _ int) {
+			if worker == 0 {
+				panic("caller-side callback failure")
+			}
+			time.Sleep(50 * time.Microsecond)
+		})
+	}()
+	// The grant was returned: the full budget is available again.
+	budget := runtime.GOMAXPROCS(0) - 1
+	if g := AcquireSlots(budget); g != budget {
+		t.Fatalf("budget leaked by panic path: acquired %d of %d", g, budget)
+	} else {
+		ReleaseSlots(g)
+	}
+	// And the pool still runs complete batches.
+	var ran atomic.Int64
+	pool.DoAll(16, func(_, _ int) { ran.Add(1) })
+	if ran.Load() != 16 {
+		t.Fatalf("post-panic batch executed %d/16 items", ran.Load())
+	}
+}

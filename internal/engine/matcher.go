@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// PairMatcher computes, round by round, a random maximal matching over
+// the usable edges of a fixed graph — the group-selection step of
+// pairwise gossip — using a partitioned algorithm so that large rounds
+// fan out across the worker pool instead of running one serial O(E)
+// shuffle on the master stream:
+//
+//  1. the agents are split into contiguous blocks (graph.EdgePartition,
+//     the same blocking rule engine.Shards uses for state); interior
+//     edges of distinct blocks never share an endpoint, so each block
+//     computes a greedy maximal matching over its usable interior edges
+//     independently, on its own substream seeded from (round seed,
+//     block index);
+//  2. a sequential reconciliation pass then matches the usable boundary
+//     edges (endpoints in distinct blocks) in an order drawn from the
+//     boundary substream, skipping endpoints the interior pass claimed.
+//
+// Every usable interior edge has a matched endpoint after pass 1 within
+// its own block, and pass 2 greedily exhausts the boundary edges, so the
+// combined matching is maximal. Every choice is a function of (round
+// seed, block partition) alone — never of worker scheduling, pool size,
+// or the state layout — so results are bit-identical for any GOMAXPROCS
+// and any Options.Shards; the block count itself is part of the
+// algorithm (different block counts draw different, equally valid
+// matchings, exactly like different seeds) and is therefore derived from
+// the system size, not from the machine.
+//
+// All buffers are matcher-owned and reused: after warm-up a Match call
+// allocates nothing.
+type PairMatcher struct {
+	part  graph.EdgePartition
+	edges []graph.Edge
+
+	matched []bool // per agent: claimed by the current round's matching
+	// Per-block scratch (parallel writers touch only their own index):
+	// usable interior edge ids, then the block's matched edge ids.
+	usable [][]int
+	found  [][]int
+	// rands[b] is block b's reusable substream; rands[Blocks] drives the
+	// boundary reconciliation pass. FastRand so the per-round reseed is
+	// O(1) — with stdlib sources the O(607) rebuild per Seed would grow
+	// linearly in the block count (see fastrand.go), reseeded in place
+	// every round.
+	rands []*FastRand
+
+	boundary []int // usable boundary edge ids, reused
+	out      []int // final matched edge ids in deterministic order
+
+	// Current-round inputs, stashed so blockFn (built once) captures no
+	// per-round state and the pool fan-out allocates nothing.
+	curEdgeUp, curAgentUp []bool
+	curSeed               int64
+	blockFn               func(worker, b int)
+}
+
+// matchStreamSeed derives the substream seed for block b (or, at
+// b == Blocks, the boundary pass) from the round's matching seed. The
+// prime spreads the substreams across the seed space, in the same style
+// as AgentSeed.
+func matchStreamSeed(seed int64, b int) int64 { return seed + int64(b+1)*104729 }
+
+// NewPairMatcher builds a matcher for g with the given number of
+// contiguous agent blocks (clamped to [1, N]).
+func NewPairMatcher(g *graph.Graph, blocks int) *PairMatcher {
+	part := g.PartitionEdges(blocks)
+	m := &PairMatcher{
+		part:    part,
+		edges:   g.Edges(),
+		matched: make([]bool, g.N()),
+		usable:  make([][]int, part.Blocks),
+		found:   make([][]int, part.Blocks),
+		rands:   make([]*FastRand, part.Blocks+1),
+	}
+	m.blockFn = func(_, b int) { m.matchBlock(b, m.curSeed, m.curEdgeUp, m.curAgentUp) }
+	return m
+}
+
+// Blocks returns the block count of the matcher's partition.
+func (m *PairMatcher) Blocks() int { return m.part.Blocks }
+
+// Edge returns the endpoints of the given edge id.
+func (m *PairMatcher) Edge(id int) graph.Edge { return m.edges[id] }
+
+// Matched reports whether the given agent was claimed by the matching of
+// the most recent Match call.
+func (m *PairMatcher) Matched(agent int) bool { return m.matched[agent] }
+
+// stream returns substream i restarted in place for the current round,
+// without allocations after first use. Distinct blocks never share an
+// entry.
+func (m *PairMatcher) stream(i int, seed int64) *rand.Rand {
+	if m.rands[i] == nil {
+		m.rands[i] = NewFastRand(matchStreamSeed(seed, i))
+	} else {
+		m.rands[i].Reseed(matchStreamSeed(seed, i))
+	}
+	return m.rands[i].Rand
+}
+
+// usableEdge reports whether edge id can carry a pair step under the
+// given masks (nil masks mean all-up, as in graph.Components).
+func (m *PairMatcher) usableEdge(id int, edgeUp, agentUp []bool) bool {
+	if edgeUp != nil && !edgeUp[id] {
+		return false
+	}
+	if agentUp != nil {
+		e := m.edges[id]
+		if !agentUp[e.A] || !agentUp[e.B] {
+			return false
+		}
+	}
+	return true
+}
+
+// matchBlock runs pass 1 for one block: collect usable interior edges,
+// shuffle them on the block substream, and claim greedily. Blocks touch
+// disjoint agents, so concurrent matchBlock calls never race.
+func (m *PairMatcher) matchBlock(b int, seed int64, edgeUp, agentUp []bool) {
+	ids := m.usable[b][:0]
+	for _, id := range m.part.Interior[b] {
+		if m.usableEdge(id, edgeUp, agentUp) {
+			ids = append(ids, id)
+		}
+	}
+	rng := m.stream(b, seed)
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	found := m.found[b][:0]
+	for _, id := range ids {
+		e := m.edges[id]
+		if m.matched[e.A] || m.matched[e.B] {
+			continue
+		}
+		m.matched[e.A], m.matched[e.B] = true, true
+		found = append(found, id)
+	}
+	m.usable[b] = ids
+	m.found[b] = found
+}
+
+// Match computes the round's maximal matching over the edges usable
+// under the given masks and returns the matched edge ids in a
+// deterministic order (block 0's pairs, block 1's, …, then the boundary
+// pairs). The returned slice aliases matcher-owned scratch and is valid
+// until the next Match call. seed should be one draw from the engine's
+// master stream; pool parallelizes the per-block pass (results are
+// identical for every pool size).
+func (m *PairMatcher) Match(edgeUp, agentUp []bool, seed int64, pool *Pool) []int {
+	for i := range m.matched {
+		m.matched[i] = false
+	}
+	blocks := m.part.Blocks
+	if blocks == 1 {
+		m.matchBlock(0, seed, edgeUp, agentUp)
+	} else {
+		m.curEdgeUp, m.curAgentUp, m.curSeed = edgeUp, agentUp, seed
+		pool.DoAll(blocks, m.blockFn)
+		m.curEdgeUp, m.curAgentUp = nil, nil
+	}
+
+	out := m.out[:0]
+	for b := 0; b < blocks; b++ {
+		out = append(out, m.found[b]...)
+	}
+
+	// Pass 2: sequential boundary reconciliation on its own substream.
+	if len(m.part.Boundary) > 0 {
+		ids := m.boundary[:0]
+		for _, id := range m.part.Boundary {
+			if m.usableEdge(id, edgeUp, agentUp) {
+				ids = append(ids, id)
+			}
+		}
+		rng := m.stream(blocks, seed)
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids {
+			e := m.edges[id]
+			if m.matched[e.A] || m.matched[e.B] {
+				continue
+			}
+			m.matched[e.A], m.matched[e.B] = true, true
+			out = append(out, id)
+		}
+		m.boundary = ids
+	}
+	m.out = out
+	return out
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomMasks draws edge/agent availability masks (sometimes nil, the
+// all-up convention).
+func randomMasks(g *graph.Graph, rng *rand.Rand) (edgeUp, agentUp []bool) {
+	if rng.Intn(4) != 0 {
+		edgeUp = make([]bool, g.M())
+		for i := range edgeUp {
+			edgeUp[i] = rng.Float64() < 0.7
+		}
+	}
+	if rng.Intn(4) != 0 {
+		agentUp = make([]bool, g.N())
+		for i := range agentUp {
+			agentUp[i] = rng.Float64() < 0.8
+		}
+	}
+	return edgeUp, agentUp
+}
+
+// TestPairMatcherValidMaximal: on random graphs, masks, blocks, and
+// seeds, the matching must be a valid matching (no shared endpoints, only
+// usable edges) and maximal (no usable edge with both endpoints free).
+func TestPairMatcherValidMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	pool := NewPool(3, 1)
+	defer pool.Close()
+	for trial := 0; trial < 80; trial++ {
+		g := graph.ErdosRenyi(2+rng.Intn(30), 0.3, rng)
+		m := NewPairMatcher(g, 1+rng.Intn(5))
+		for round := 0; round < 4; round++ {
+			edgeUp, agentUp := randomMasks(g, rng)
+			ids := m.Match(edgeUp, agentUp, rng.Int63(), pool)
+			claimed := make([]bool, g.N())
+			usable := func(id int) bool {
+				e := g.Edge(id)
+				return (edgeUp == nil || edgeUp[id]) &&
+					(agentUp == nil || (agentUp[e.A] && agentUp[e.B]))
+			}
+			for _, id := range ids {
+				e := g.Edge(id)
+				if !usable(id) {
+					t.Fatalf("trial %d: matched unusable edge %v", trial, e)
+				}
+				if claimed[e.A] || claimed[e.B] {
+					t.Fatalf("trial %d: agent matched twice at edge %v", trial, e)
+				}
+				claimed[e.A], claimed[e.B] = true, true
+				if !m.Matched(e.A) || !m.Matched(e.B) {
+					t.Fatalf("trial %d: Matched() disagrees with result at %v", trial, e)
+				}
+			}
+			for id := 0; id < g.M(); id++ {
+				e := g.Edge(id)
+				if usable(id) && !claimed[e.A] && !claimed[e.B] {
+					t.Fatalf("trial %d: matching not maximal — usable edge %v has both endpoints free", trial, e)
+				}
+			}
+		}
+	}
+}
+
+// TestPairMatcherPoolIndependent: the matched id sequence is a function
+// of (seed, partition, masks) only — identical for every pool size and
+// across repeated/interleaved calls (scratch reuse must not leak state
+// between rounds).
+func TestPairMatcherPoolIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := graph.ErdosRenyi(48, 0.2, rng)
+	seeds := []int64{1, 7, 42}
+	var want [][]int
+	for _, poolSize := range []int{1, 2, 8} {
+		pool := NewPool(poolSize, 1)
+		m := NewPairMatcher(g, 5)
+		var got [][]int
+		for _, seed := range seeds {
+			edgeUp := make([]bool, g.M())
+			maskRng := rand.New(rand.NewSource(seed))
+			for i := range edgeUp {
+				edgeUp[i] = maskRng.Float64() < 0.8
+			}
+			got = append(got, slices.Clone(m.Match(edgeUp, nil, seed, pool)))
+		}
+		if want == nil {
+			want = got
+		} else {
+			for i := range got {
+				if !slices.Equal(got[i], want[i]) {
+					t.Fatalf("pool size %d, seed %d: matching %v != reference %v",
+						poolSize, seeds[i], got[i], want[i])
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestPairMatcherBlockCountChangesDrawOnly: different block counts may
+// draw different matchings (they are part of the algorithm, like the
+// seed), but each must still be valid and deterministic for a fixed
+// count. Guards against accidentally tying the partition to GOMAXPROCS.
+func TestPairMatcherBlockCountChangesDrawOnly(t *testing.T) {
+	g := graph.Ring(24)
+	pool := NewPool(2, 1)
+	defer pool.Close()
+	for _, blocks := range []int{1, 2, 3, 24, 100} {
+		a := NewPairMatcher(g, blocks)
+		b := NewPairMatcher(g, blocks)
+		for seed := int64(0); seed < 5; seed++ {
+			if !slices.Equal(a.Match(nil, nil, seed, pool), b.Match(nil, nil, seed, pool)) {
+				t.Fatalf("blocks=%d seed=%d: two matchers over the same inputs disagree", blocks, seed)
+			}
+		}
+		if got := a.Blocks(); blocks >= 1 && blocks <= 24 && got != blocks {
+			t.Fatalf("Blocks() = %d, want %d", got, blocks)
+		}
+	}
+}
+
+// TestPairMatcherAllocFree: warm Match calls must not allocate — the
+// matching buffers are engine-owned, like the component path's.
+func TestPairMatcherAllocFree(t *testing.T) {
+	g := graph.Torus(8, 8)
+	pool := NewPool(1, 1)
+	defer pool.Close()
+	m := NewPairMatcher(g, 4)
+	edgeUp := make([]bool, g.M())
+	for i := range edgeUp {
+		edgeUp[i] = i%3 != 0
+	}
+	seed := int64(0)
+	m.Match(edgeUp, nil, seed, pool) // warm-up growth
+	allocs := testing.AllocsPerRun(50, func() {
+		seed++
+		m.Match(edgeUp, nil, seed, pool)
+	})
+	if allocs != 0 {
+		t.Errorf("warm Match allocated %.0f times per run", allocs)
+	}
+}

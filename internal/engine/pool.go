@@ -16,6 +16,13 @@ import (
 // (worker 0) — for the small systems the experiment sweeps simulate, the
 // per-group work is far cheaper than any hand-off.
 //
+// Engaged batches draw their extra workers from the process-wide
+// worker-slot budget (AcquireSlots): when pools nest inside an already
+// parallel sweep, the combined goroutine count stays capped at
+// GOMAXPROCS instead of multiplying, and a batch granted no slots simply
+// runs serially — results are identical either way, because work items
+// carry their own seeds.
+//
 // Do passes each callback a stable worker index in [0, Size()) so callers
 // can keep per-worker scratch (reusable rand.Rand states, buffers) without
 // locking: a given worker index never runs two callbacks concurrently.
@@ -69,24 +76,40 @@ func (p *Pool) run(n int, fn func(worker, i int), engage bool) {
 	if n <= 0 {
 		return
 	}
-	if p.size <= 1 || !engage {
+	extra := 0
+	if p.size > 1 && engage {
+		want := p.size - 1
+		if want > n-1 {
+			want = n - 1 // never wake more workers than items beyond the caller's
+		}
+		extra = AcquireSlots(want)
+	}
+	if extra == 0 {
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}
 		return
 	}
+	// Both deferred so a panicking caller-side callback (recoverable by
+	// callers; a panic on a worker goroutine kills the process anyway)
+	// leaves the pool reusable and the budget exact: in-flight workers
+	// finish the old batch before the panic propagates, then the grant is
+	// returned. Registration order makes the Wait run first.
+	defer ReleaseSlots(extra)
 	p.startOnce.Do(p.start)
 	b := &p.batch
 	b.n = n
 	b.fn = fn
 	b.next.Store(0)
-	b.wg.Add(p.size - 1)
-	for w := 1; w < p.size; w++ {
+	b.wg.Add(extra)
+	for w := 0; w < extra; w++ {
 		p.tokens <- struct{}{}
 	}
+	defer func() {
+		b.wg.Wait()
+		b.fn = nil
+	}()
 	b.drain(0)
-	b.wg.Wait()
-	b.fn = nil
 }
 
 func (p *Pool) start() {

@@ -158,12 +158,32 @@ func (e *Static) Step(int, *rand.Rand) State { return e.s }
 // Q_e holds infinitely often with probability 1: assumption (2) is
 // satisfied and the correctness theorem applies — convergence merely slows
 // down as P drops, which experiment E4 measures.
+//
+// Step costs O(1 + M·min(P, 1−P)) expected, not O(M): each round draws
+// one sub-seed from the master stream (so downstream master consumption
+// is fixed) and samples only the MINORITY edges — the ones that deviate
+// from the more likely value — by geometric gap skipping on an internal
+// substream, repairing the previous round's minority entries in place
+// instead of rewriting the whole mask. At P = 0.999 on a 10⁶-edge graph
+// that is ~10³ mask writes per round instead of 10⁶, which is what makes
+// large-N churn rounds affordable (E15). The sampled distribution is
+// exactly iid Bernoulli(P) per edge per round.
 type EdgeChurn struct {
 	g *graph.Graph
 	// P is the per-round, per-edge availability probability.
 	P float64
 
 	buf stateBuf
+	// sub is the mask-sampling substream, reseeded each round from the
+	// single master draw.
+	sub *rand.Rand
+	// flips holds the edge ids currently set to the minority value, so
+	// the next round can undo exactly those writes. majority records the
+	// fill value the rest of the mask holds (true when P ≥ 0.5); if P is
+	// changed mid-run across 0.5 the mask is refilled once.
+	flips      []int
+	majority   bool
+	maskPrimed bool
 }
 
 // NewEdgeChurn builds an EdgeChurn environment over g.
@@ -175,11 +195,74 @@ func (e *EdgeChurn) Name() string { return fmt.Sprintf("edge-churn(p=%.2f)", e.P
 // Graph implements Environment.
 func (e *EdgeChurn) Graph() *graph.Graph { return e.g }
 
+// geometricGap returns the number of majority-valued edges preceding the
+// next minority edge: Geometric(q) on {0, 1, …} via inversion. 1−U is in
+// (0, 1], so its logarithm is finite; logOneMinusQ is the precomputed
+// log1p(−q), which is nonzero for every q in (0, 1] — including denormal
+// q, where log(1−q) would round to log(1.0) = 0 and the division would
+// produce ±Inf. Gaps at or beyond limit saturate to limit, so the
+// float→int conversion can never overflow into a negative index.
+func geometricGap(rng *rand.Rand, logOneMinusQ float64, limit int) int {
+	u := 1 - rng.Float64()
+	g := math.Log(u) / logOneMinusQ
+	if !(g < float64(limit)) { // catches +Inf and NaN too
+		return limit
+	}
+	return int(g)
+}
+
+// sampleFlips appends to dst[:0] the ascending ids in [0, m) of the
+// minority edges for one round: each id independently selected with
+// probability q via geometric gap skipping, consuming one draw per
+// selected id (plus one final overshoot draw).
+func sampleFlips(dst []int, m int, q float64, rng *rand.Rand) []int {
+	dst = dst[:0]
+	if q <= 0 || m == 0 {
+		return dst
+	}
+	l := math.Log1p(-q)
+	for id := geometricGap(rng, l, m); id < m; id += 1 + geometricGap(rng, l, m) {
+		dst = append(dst, id)
+	}
+	return dst
+}
+
 // Step implements Environment.
 func (e *EdgeChurn) Step(_ int, rng *rand.Rand) State {
-	s := e.buf.allUp(e.g)
-	for i := range s.EdgeUp {
-		s.EdgeUp[i] = rng.Float64() < e.P
+	// One master draw per round, whatever P is: the rest of the engine's
+	// stream consumption never depends on the mask contents.
+	seed := rng.Int63()
+	if e.sub == nil {
+		e.sub = rand.New(rand.NewSource(seed))
+	} else {
+		e.sub.Seed(seed)
+	}
+
+	majority := e.P >= 0.5
+	q := 1 - e.P // minority probability
+	if !majority {
+		q = e.P
+	}
+	var s State
+	if !e.maskPrimed || majority != e.majority {
+		// First round (or P crossed ½): fill the whole mask once.
+		s = e.buf.allUp(e.g)
+		for i := range s.EdgeUp {
+			s.EdgeUp[i] = majority
+		}
+		e.majority = majority
+		e.maskPrimed = true
+		e.flips = e.flips[:0]
+	} else {
+		// Steady state: undo only last round's minority entries.
+		s = e.buf.s
+		for _, id := range e.flips {
+			s.EdgeUp[id] = majority
+		}
+	}
+	e.flips = sampleFlips(e.flips, len(s.EdgeUp), q, e.sub)
+	for _, id := range e.flips {
+		s.EdgeUp[id] = !majority
 	}
 	return s
 }

@@ -252,3 +252,122 @@ func TestFairnessProbeEmpty(t *testing.T) {
 		t.Error("up fraction on empty probe")
 	}
 }
+
+// TestEdgeChurnIncrementalMatchesScratch: the incrementally repaired
+// mask must equal, every round, the mask computed from scratch from the
+// same per-round sub-seed — the regression guard on the undo-then-flip
+// maintenance path (a stale or missed undo would silently skew
+// availability).
+func TestEdgeChurnIncrementalMatchesScratch(t *testing.T) {
+	g := graph.Complete(14)
+	for _, p := range []float64{0.999, 0.9, 0.5, 0.3, 0.01} {
+		e := NewEdgeChurn(g, p)
+		master := rand.New(rand.NewSource(7))
+		mirror := rand.New(rand.NewSource(7)) // replays the master draws
+		var scratch []int
+		for round := 0; round < 300; round++ {
+			s := e.Step(round, master)
+			seed := mirror.Int63()
+			majority := p >= 0.5
+			q := 1 - p
+			if !majority {
+				q = p
+			}
+			scratch = sampleFlips(scratch, g.M(), q, rand.New(rand.NewSource(seed)))
+			want := make([]bool, g.M())
+			for i := range want {
+				want[i] = majority
+			}
+			for _, id := range scratch {
+				want[id] = !majority
+			}
+			for id := range want {
+				if s.EdgeUp[id] != want[id] {
+					t.Fatalf("p=%g round %d: incremental mask[%d]=%v, from-scratch %v",
+						p, round, id, s.EdgeUp[id], want[id])
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeChurnMasterConsumptionFixed: Step must consume exactly one
+// master draw per round, independent of P and of how many edges flipped —
+// the engine's downstream randomness (matching seeds, group seeds) must
+// not shift when churn density changes.
+func TestEdgeChurnMasterConsumptionFixed(t *testing.T) {
+	g := graph.Ring(32)
+	for _, p := range []float64{1.0, 0.7, 0.2, 0.0} {
+		e := NewEdgeChurn(g, p)
+		master := rand.New(rand.NewSource(3))
+		control := rand.New(rand.NewSource(3))
+		for round := 0; round < 50; round++ {
+			e.Step(round, master)
+			control.Int63()
+		}
+		if master.Int63() != control.Int63() {
+			t.Fatalf("p=%g: Step consumed a P-dependent number of master draws", p)
+		}
+	}
+}
+
+// TestEdgeChurnPCrossesHalf: changing P across ½ mid-run flips the
+// majority fill value; the mask must be refilled correctly instead of
+// keeping stale majority entries.
+func TestEdgeChurnPCrossesHalf(t *testing.T) {
+	g := graph.Complete(10)
+	e := NewEdgeChurn(g, 0.95)
+	master := rand.New(rand.NewSource(9))
+	for round := 0; round < 5; round++ {
+		e.Step(round, master)
+	}
+	e.P = 0.05
+	up := 0
+	for round := 5; round < 105; round++ {
+		up += e.Step(round, master).UpEdgeCount()
+	}
+	if frac := float64(up) / float64(100*g.M()); frac < 0.02 || frac > 0.1 {
+		t.Errorf("after P change to 0.05, availability %.3f (stale majority fill?)", frac)
+	}
+}
+
+// TestEdgeChurnStepAllocFree: the steady-state Step must not allocate —
+// the mask buffer, flip list, and substream are all reused.
+func TestEdgeChurnStepAllocFree(t *testing.T) {
+	g := graph.Complete(24)
+	e := NewEdgeChurn(g, 0.9)
+	master := rand.New(rand.NewSource(5))
+	e.Step(0, master) // prime mask, substream, and flip-list capacity
+	e.Step(1, master)
+	round := 2
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Step(round, master)
+		round++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocated %.0f times per run", allocs)
+	}
+}
+
+// TestEdgeChurnExtremeTinyP: availability probabilities down at the
+// denormal end must not crash the gap sampler. Before the Log1p guard,
+// q < ~1e-16 made log(1−q) round to zero, the division produce ±Inf,
+// and the float→int conversion yield a negative edge id that panicked
+// Step with an index-out-of-range.
+func TestEdgeChurnExtremeTinyP(t *testing.T) {
+	g := graph.Complete(8)
+	for _, p := range []float64{1e-300, 1e-20, 1e-16, 1 - 1e-16} {
+		e := NewEdgeChurn(g, p)
+		master := rand.New(rand.NewSource(1))
+		for round := 0; round < 50; round++ {
+			s := e.Step(round, master)
+			up := s.UpEdgeCount()
+			if p < 0.5 && up > 1 {
+				t.Fatalf("p=%g round %d: %d edges up", p, round, up)
+			}
+			if p > 0.5 && up < g.M()-1 {
+				t.Fatalf("p=%g round %d: only %d/%d edges up", p, round, up, g.M())
+			}
+		}
+	}
+}

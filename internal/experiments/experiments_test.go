@@ -5,6 +5,12 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/env"
+	"repro/internal/graph"
+	"repro/internal/problems"
+	"repro/internal/sim"
 )
 
 // TestAllShapesHold runs every experiment at quick scale and asserts the
@@ -78,5 +84,31 @@ func TestParallelSweepBitIdentical(t *testing.T) {
 	}
 	if !parallel.ShapeHolds {
 		t.Fatal("E4 shape does not hold")
+	}
+}
+
+// TestNestedSweepRespectsWorkerBudget: a seed sweep whose bodies run
+// sharded, pool-parallel simulations must never hold more than
+// GOMAXPROCS−1 extra worker slots in total — the sweep workers and every
+// nested engine pool draw from the same process-wide budget, so workers ×
+// shards cannot oversubscribe the machine.
+func TestNestedSweepRespectsWorkerBudget(t *testing.T) {
+	old := goruntime.GOMAXPROCS(4)
+	defer goruntime.GOMAXPROCS(old)
+	engine.ResetSlotPeak()
+	g := graph.Ring(64)
+	forEachSeed(8, func(s int) {
+		res, err := sim.Run[int](problems.NewMin(), env.NewEdgeChurn(g, 0.6), initialValues(64, int64(s)+1),
+			sim.Options{Seed: int64(s) + 1, StopOnConverged: true, MaxRounds: 60_000,
+				Shards: 4, ParallelThreshold: 1, Mode: sim.PairwiseMode, MatchBlocks: 4})
+		if err != nil || !res.Converged {
+			t.Errorf("seed %d: err=%v converged=%v", s, err, res != nil && res.Converged)
+		}
+	})
+	budget := goruntime.GOMAXPROCS(0) - 1
+	if peak := engine.SlotPeak(); peak > budget {
+		t.Errorf("nested sweep held %d extra-worker slots, budget is %d", peak, budget)
+	} else if peak == 0 {
+		t.Error("budget never engaged — sweep/pools not routed through AcquireSlots")
 	}
 }

@@ -251,6 +251,60 @@ func (g *Graph) ComponentsInto(edgeUp, agentUp []bool, cs *ComponentScratch) [][
 	return comps
 }
 
+// EdgePartition is the edge-side view of a contiguous agent blocking: the
+// agents 0..N-1 are split into Blocks blocks of BlockSize consecutive
+// indices (the same blocking rule engine.Shards uses for state), and every
+// edge is classified as either *interior* to the block holding both of its
+// endpoints or as a *boundary* edge between two blocks. It is the static
+// index a partitioned per-round algorithm (the sharded pairwise matcher)
+// needs: interior edges of distinct blocks never share an endpoint, so
+// per-block passes over Interior are embarrassingly parallel, while the
+// Boundary list is the part that needs cross-block reconciliation.
+type EdgePartition struct {
+	// Blocks is the number of agent blocks (≥ 1).
+	Blocks int
+	// BlockSize is the number of consecutive agent indices per block
+	// (the last block may be shorter).
+	BlockSize int
+	// Interior[b] lists, in ascending order, the ids of edges whose two
+	// endpoints both lie in block b.
+	Interior [][]int
+	// Boundary lists, in ascending order, the ids of edges whose
+	// endpoints lie in distinct blocks.
+	Boundary []int
+}
+
+// Block returns the block owning the given agent index.
+func (p EdgePartition) Block(agent int) int { return agent / p.BlockSize }
+
+// PartitionEdges builds the EdgePartition of the graph's edge set for the
+// given number of contiguous agent blocks (clamped to [1, N] for N > 0).
+// Every edge id appears in exactly one of the Interior lists or in
+// Boundary, and with blocks == 1 every edge is interior.
+func (g *Graph) PartitionEdges(blocks int) EdgePartition {
+	n := g.n
+	if blocks < 1 {
+		blocks = 1
+	}
+	if blocks > n && n > 0 {
+		blocks = n
+	}
+	bs := 1
+	if n > 0 {
+		bs = (n + blocks - 1) / blocks
+	}
+	p := EdgePartition{Blocks: blocks, BlockSize: bs, Interior: make([][]int, blocks)}
+	for id, e := range g.edges {
+		ba, bb := e.A/bs, e.B/bs
+		if ba == bb {
+			p.Interior[ba] = append(p.Interior[ba], id)
+		} else {
+			p.Boundary = append(p.Boundary, id)
+		}
+	}
+	return p
+}
+
 // Connected reports whether the graph (with all edges enabled) is a single
 // connected component. The empty graph is connected vacuously; a graph
 // with no edges and ≥2 vertices is not.

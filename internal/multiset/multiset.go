@@ -395,7 +395,32 @@ func NewMerger[T any](cmp Cmp[T]) *Merger[T] {
 // deterministic. The view is invalidated by the next Union call; callers
 // that retain it must copy it first. Operands must not alias the
 // Merger's buffers (i.e. must not be a previous Union result).
+//
+// A zero-value Merger (nil comparison function) adopts the first
+// operand's comparison function, mirroring the zero-value contract of
+// Multiset.Union; if no operand can supply one and elements must be
+// merged, Union panics early with a descriptive message rather than
+// crashing on the nil cmp deep inside the merge. A nil *Merger panics
+// descriptively too.
 func (g *Merger[T]) Union(sets ...Multiset[T]) Multiset[T] {
+	if g == nil {
+		panic("multiset.Merger.Union: nil *Merger receiver; build the merger with NewMerger")
+	}
+	if g.cmp == nil {
+		for _, s := range sets {
+			if s.cmp != nil {
+				g.cmp = s.cmp
+				break
+			}
+		}
+		if g.cmp == nil {
+			for _, s := range sets {
+				if len(s.elems) > 0 {
+					panic("multiset.Merger.Union: nil comparison function (zero-value Merger) and no operand supplies one; build the merger with NewMerger")
+				}
+			}
+		}
+	}
 	cur := g.cur[:0]
 	for _, s := range sets {
 		if len(s.elems) > 0 {

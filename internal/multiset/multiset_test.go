@@ -435,3 +435,75 @@ func TestMergerMatchesFoldedUnion(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroValueMergerSafe: a zero-value Merger must behave like the
+// zero-value Multiset operands do — adopt a comparison function from its
+// operands when one is available, and panic early with a descriptive
+// message (not a nil-func crash deep inside mergeAppend) when elements
+// must be merged and no cmp exists anywhere. A nil *Merger must panic
+// descriptively too.
+func TestZeroValueMergerSafe(t *testing.T) {
+	// Empty operands: fine, no cmp ever needed.
+	var m Merger[int]
+	if got := m.Union(Multiset[int]{}, Multiset[int]{}); got.Len() != 0 {
+		t.Fatalf("zero Merger over empties = %v", got)
+	}
+
+	// Operands carrying a cmp: the zero-value Merger adopts it.
+	var m2 Merger[int]
+	got := m2.Union(OfInts(3, 1), OfInts(2, 2))
+	if !got.Equal(OfInts(1, 2, 2, 3)) {
+		t.Fatalf("adopted-cmp merge = %v, want {1,2,2,3}", got)
+	}
+	// And the adopted cmp persists for later unions.
+	if got := m2.Union(OfInts(5), OfInts(4)); !got.Equal(OfInts(4, 5)) {
+		t.Fatalf("second merge after adoption = %v", got)
+	}
+
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s did not panic", name)
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "NewMerger") {
+				t.Errorf("%s panic %v not descriptive", name, r)
+			}
+		}()
+		fn()
+	}
+	// Nil-cmp elements with no cmp anywhere: early, descriptive.
+	var m3 Merger[int]
+	poisoned := Multiset[int]{elems: []int{1, 2}}
+	expectPanic("zero-value Merger with nil-cmp operands", func() { m3.Union(poisoned, poisoned) })
+	// Nil receiver: early, descriptive.
+	expectPanic("nil *Merger", func() { (*Merger[int])(nil).Union(OfInts(1)) })
+}
+
+// TestUnionIntoZeroValueReceiverRegression: UnionInto on a zero-value
+// receiver must keep the early descriptive panic (poisoned operands) and
+// the cmp-adoption path (empty receiver, cmp-carrying operand) — the
+// same contract Union has.
+func TestUnionIntoZeroValueReceiverRegression(t *testing.T) {
+	var zero Multiset[int]
+	got, _ := zero.UnionInto(OfInts(2, 1), nil)
+	if !got.Equal(OfInts(1, 2)) {
+		t.Fatalf("zero.UnionInto({1,2}) = %v", got)
+	}
+	// Result adopted the operand's cmp: usable downstream.
+	if got.Count(2) != 1 {
+		t.Fatal("adopted cmp unusable after UnionInto")
+	}
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if r == nil || !ok || !strings.Contains(msg, "nil comparison function") {
+			t.Errorf("poisoned UnionInto panic %v not descriptive", r)
+		}
+	}()
+	poisoned := Multiset[int]{elems: []int{1}}
+	_, _ = poisoned.UnionInto(poisoned, nil)
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	goruntime "runtime"
 	"testing"
 	"time"
 
@@ -341,5 +342,61 @@ func TestBudgetSignalStopsWithoutProgress(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("budget stop took %v — supervisor not woken by the budget signal", elapsed)
+	}
+}
+
+// TestAsyncGoldenSingleThreaded is the async runtime's analogue of sim's
+// golden matrix, run on a single-threaded scheduler (GOMAXPROCS(1)) per
+// the ROADMAP item. True bitwise pinning of op counts is impossible even
+// at GOMAXPROCS(1) — the Go scheduler and select both randomize — so the
+// goldens pin what IS deterministic per seed and bound what is not:
+//
+//   - the final multiset and target, elementwise (pinned strings);
+//   - op bounds: 0 < Ops ≤ MaxOps, and at least enough proper steps to
+//     have spread the minimum (each proper step changes one initiator);
+//   - the quiescence detector's op-bounded discipline:
+//     QuiescenceChecks ≤ 2·Ops + 1 (one check per adoption nudge, never
+//     per unit of wall-clock).
+func TestAsyncGoldenSingleThreaded(t *testing.T) {
+	old := goruntime.GOMAXPROCS(1)
+	defer goruntime.GOMAXPROCS(old)
+
+	g := graph.Ring(8)
+	vals := []int{9, 4, 7, 1, 8, 2, 6, 5}
+	const maxOps = 50_000
+	wantFinal := "{1, 1, 1, 1, 1, 1, 1, 1}"
+	for seed := int64(1); seed <= 3; seed++ {
+		o := Options{Seed: seed, LinkUpProbability: 1, MaxOps: maxOps, Timeout: 20 * time.Second}
+		res, err := Run[int](problems.NewMin(), g, vals, o)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: did not converge: %v", seed, res.Final)
+		}
+		if got := ms.OfInts(res.Final...).String(); got != wantFinal {
+			t.Errorf("seed %d: final multiset %s, want %s", seed, got, wantFinal)
+		}
+		if got := res.Target.String(); got != wantFinal {
+			t.Errorf("seed %d: target %s, want %s", seed, got, wantFinal)
+		}
+		if len(res.Violations) != 0 {
+			t.Errorf("seed %d: violations %v", seed, res.Violations)
+		}
+		if res.Ops <= 0 || res.Ops > maxOps {
+			t.Errorf("seed %d: Ops = %d outside (0, %d]", seed, res.Ops, maxOps)
+		}
+		// 7 agents must abandon non-minimal values; an initiator-side
+		// proper step changes one value, and partner-side adoptions are
+		// not counted, so at least 1 and at most 7 would be too tight a
+		// lower bound only if every adoption were partner-side — demand
+		// at least one, and no more proper steps than exchanges.
+		if res.ProperSteps < 1 || res.ProperSteps > res.Ops {
+			t.Errorf("seed %d: ProperSteps = %d outside [1, Ops=%d]", seed, res.ProperSteps, res.Ops)
+		}
+		if limit := 2*res.Ops + 1; res.QuiescenceChecks > limit {
+			t.Errorf("seed %d: QuiescenceChecks = %d exceeds adoption bound %d",
+				seed, res.QuiescenceChecks, limit)
+		}
 	}
 }

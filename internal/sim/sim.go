@@ -16,7 +16,12 @@
 //     sets of agents can execute the algorithm concurrently" is realized
 //     literally; small rounds run serially, which is cheaper and
 //     bit-for-bit identical because every group steps on a private stream
-//     seeded in group order).
+//     seeded in group order). In PairwiseMode the groups are the pairs of
+//     a random maximal matching, computed by the partitioned matcher
+//     (engine.PairMatcher): per-block interior matchings fan out across
+//     the pool and a sequential boundary-reconciliation pass completes
+//     maximality, after which the matched pairs step like any other
+//     groups — so the engine's last serial per-round O(E) stage is gone.
 //
 // Self-similarity is structural: a group step sees nothing but the states
 // of the group's own members, and the same GroupStep code runs for every
@@ -65,7 +70,10 @@ const (
 	// over the available edges, one PairStep per matched edge: classic
 	// gossip, the minimal refinement. Used by the ablation experiments
 	// and by problems (like sum) whose environment assumptions are
-	// stated pairwise.
+	// stated pairwise. The matching is computed by the partitioned
+	// matcher (see Options.MatchBlocks) and the pair steps run on
+	// private seeded streams, so pairwise rounds parallelize exactly
+	// like component rounds.
 	PairwiseMode
 )
 
@@ -93,6 +101,15 @@ const DefaultParallelThreshold = 32
 // incremental repair already costs O(n) and sharding would only add merge
 // overhead. Results are bit-identical in both layouts.
 const DefaultShardThreshold = 1 << 14
+
+// DefaultMatchBlockAgents is the agent-block size of the pairwise
+// matcher's partition when Options.MatchBlocks is 0: systems below it use
+// a single block (one shuffle, no boundary pass); a 10⁵-agent system gets
+// ~25 blocks whose interior matchings fan out across the pool. Unlike the
+// shard count, the block count is derived from the system size only —
+// never from GOMAXPROCS — because it selects which matching is drawn (see
+// Options.MatchBlocks) and results must not depend on the machine.
+const DefaultMatchBlockAgents = 1 << 12
 
 // Options configures a simulation run.
 type Options struct {
@@ -131,6 +148,20 @@ type Options struct {
 	// S_B ∪ S_C holds for any partition of the agent multiset, which is
 	// exactly the paper's license to shard.
 	Shards int
+	// MatchBlocks configures the pairwise matcher's partition: the agent
+	// array is split into that many contiguous blocks; each block computes
+	// a maximal matching over its interior edges on its own deterministic
+	// substream (pool-parallel), and a sequential reconciliation pass then
+	// matches the boundary edges between blocks, so the combined matching
+	// is maximal (see engine.PairMatcher). 0 means auto — one block per
+	// DefaultMatchBlockAgents agents; > 0 forces that many blocks (clamped
+	// to the agent count); negative forces a single block. The block count
+	// is part of the algorithm: like the seed, it selects WHICH random
+	// maximal matching is drawn each round, so different values give
+	// different (equally valid) runs — but for a fixed value results are
+	// bit-identical for every Shards setting, every ParallelThreshold, and
+	// every GOMAXPROCS. Ignored outside PairwiseMode.
+	MatchBlocks int
 	// OnRound, when non-nil, is called after every round with live
 	// progress — used by examples and the experiment harness to trace
 	// runs without retaining full traces.
@@ -217,12 +248,14 @@ type runner[T any] struct {
 	jobs        []groupJob[T]
 	beforeArena []T
 	stepFn      func(worker, i int)
-	workerRands []*rand.Rand
+	workerRands []*engine.FastRand
 
-	// Pairwise-mode scratch.
-	usable      []int
-	matched     []bool
-	edges       []graph.Edge
+	// Pairwise-mode scratch: the partitioned matcher (built lazily on the
+	// first pairwise round), the round's pair jobs, and the fixed-size
+	// views handed to classifyStep/applyDelta.
+	matcher     *engine.PairMatcher
+	pairJobs    []pairJob[T]
+	pairStepFn  func(worker, i int)
 	pairOld     [2]T
 	pairNew     [2]T
 	pairMembers [2]int
@@ -240,6 +273,17 @@ type groupJob[T any] struct {
 	before  []T
 	after   []T
 	seed    int64
+}
+
+// pairJob is one matched pair's step. Like groupJob it carries a child
+// seed drawn from the master stream in deterministic (matching) order, so
+// the PairStep calls can run on any worker in any order without results
+// depending on scheduling.
+type pairJob[T any] struct {
+	a, b       int
+	oldA, oldB T
+	newA, newB T
+	seed       int64
 }
 
 // Run simulates problem p over environment e from the given initial
@@ -279,10 +323,14 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 	r.mon = engine.NewMonitor(p, r.snapshot(), opts.HEps)
 	r.conv = engine.NewConvergence(p.Equal, r.mon.Target())
 	r.res = &Result[T]{Target: r.mon.Target(), Probe: env.NewFairnessProbe(g.M())}
-	r.workerRands = make([]*rand.Rand, r.pool.Size())
+	r.workerRands = make([]*engine.FastRand, r.pool.Size())
 	r.stepFn = func(worker, i int) {
 		j := &r.jobs[i]
 		j.after = r.p.GroupStep(j.before, r.workerRand(worker, j.seed))
+	}
+	r.pairStepFn = func(worker, i int) {
+		j := &r.pairJobs[i]
+		j.newA, j.newB = r.p.PairStep(j.oldA, j.oldB, r.workerRand(worker, j.seed))
 	}
 
 	if opts.AdversaryFeedback {
@@ -360,6 +408,19 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 	return res, nil
 }
 
+// resolveMatchBlocks maps Options.MatchBlocks to the pairwise matcher's
+// block count for n agents (n ≥ 1; the matcher clamps to [1, n]).
+func resolveMatchBlocks(opt, n int) int {
+	switch {
+	case opt < 0:
+		return 1
+	case opt > 0:
+		return opt
+	default:
+		return (n + DefaultMatchBlockAgents - 1) / DefaultMatchBlockAgents
+	}
+}
+
 // resolveShards maps Options.Shards to a shard count for n agents: 0 when
 // the single-tracker layout should be used, otherwise the number of
 // shards for the sharded layout.
@@ -412,17 +473,20 @@ func (r *runner[T]) applyDelta(members []int, olds, news []T, changed bool) {
 	}
 }
 
-// workerRand returns worker w's reusable random stream, reseeded in place:
-// equivalent to rand.New(rand.NewSource(seed)) without the two allocations
-// per group per round. Distinct workers never share an entry, so the only
-// coordination needed is the pool's own batch barrier.
+// workerRand returns worker w's reusable random stream, restarted in
+// place at the group's child seed. The stream is an engine.FastRand:
+// reseeding is O(1) where the stdlib source pays an O(607) state rebuild
+// per Seed — with one reseed per group per round, that rebuild dominated
+// large pairwise rounds (~5·10⁴ matched pairs at 10⁵ agents). Distinct
+// workers never share an entry, so the only coordination needed is the
+// pool's own batch barrier.
 func (r *runner[T]) workerRand(w int, seed int64) *rand.Rand {
 	if r.workerRands[w] == nil {
-		r.workerRands[w] = rand.New(rand.NewSource(seed))
+		r.workerRands[w] = engine.NewFastRand(seed)
 	} else {
-		r.workerRands[w].Seed(seed)
+		r.workerRands[w].Reseed(seed)
 	}
-	return r.workerRands[w]
+	return r.workerRands[w].Rand
 }
 
 // classifyStep compares a group's before and after states as multisets.
@@ -502,62 +566,54 @@ func (r *runner[T]) stepComponents(es env.State) int {
 	return len(r.jobs)
 }
 
-// stepPairs runs one PairwiseMode round: a random maximal matching over
-// the available edges; each matched pair executes one PairStep. Pair steps
-// share the master stream, so they run serially by construction.
+// stepPairs runs one PairwiseMode round: the partitioned matcher draws a
+// random maximal matching over the available edges (per-block interior
+// matchings fan out across the pool, a sequential boundary pass completes
+// maximality — see engine.PairMatcher), then each matched pair executes
+// one PairStep on a private stream seeded in matching order, exactly as
+// component groups do. Master-stream consumption is one draw for the
+// matching seed plus one child-seed draw per matched pair, independent of
+// the state layout and the pool, so results are bit-identical for every
+// Shards/ParallelThreshold/GOMAXPROCS combination.
 func (r *runner[T]) stepPairs(es env.State, rng *rand.Rand) int {
-	if r.edges == nil {
-		r.edges = r.g.Edges()
-		r.matched = make([]bool, len(r.states))
+	if r.matcher == nil {
+		r.matcher = engine.NewPairMatcher(r.g, resolveMatchBlocks(r.opts.MatchBlocks, r.g.N()))
 	}
-	edges := r.edges
+	matched := r.matcher.Match(es.EdgeUp, es.AgentUp, rng.Int63(), r.pool)
 
-	// Collect usable edges (available, both endpoints up) into the reusable
-	// scratch slice.
-	r.usable = r.usable[:0]
-	for id := range edges {
-		if es.EdgeUp != nil && !es.EdgeUp[id] {
-			continue
-		}
-		a, b := edges[id].A, edges[id].B
-		if es.AgentUp != nil && (!es.AgentUp[a] || !es.AgentUp[b]) {
-			continue
-		}
-		r.usable = append(r.usable, id)
+	r.pairJobs = r.pairJobs[:0]
+	for _, id := range matched {
+		e := r.matcher.Edge(id)
+		r.pairJobs = append(r.pairJobs, pairJob[T]{
+			a: e.A, b: e.B,
+			oldA: r.states[e.A], oldB: r.states[e.B],
+			seed: r.seeder.GroupSeed(),
+		})
 	}
-	rng.Shuffle(len(r.usable), func(i, j int) { r.usable[i], r.usable[j] = r.usable[j], r.usable[i] })
-	for i := range r.matched {
-		r.matched[i] = false
-	}
-	pairs := 0
-	for _, id := range r.usable {
-		a, b := edges[id].A, edges[id].B
-		if r.matched[a] || r.matched[b] {
-			continue
-		}
-		r.matched[a], r.matched[b] = true, true
-		oa, ob := r.states[a], r.states[b]
-		na, nb := r.p.PairStep(oa, ob, rng)
+
+	r.pool.Do(len(r.pairJobs), r.pairStepFn)
+
+	for i := range r.pairJobs {
+		j := &r.pairJobs[i]
 		if r.opts.CheckSteps {
-			beforeM := ms.New(r.cmp, oa, ob)
-			afterM := ms.New(r.cmp, na, nb)
+			beforeM := ms.New(r.cmp, j.oldA, j.oldB)
+			afterM := ms.New(r.cmp, j.newA, j.newB)
 			if v := r.mon.VerifyStep(beforeM, afterM); !v.OK {
-				r.mon.AddViolation("pair (%d,%d): %v", a, b, v)
+				r.mon.AddViolation("pair (%d,%d): %v", j.a, j.b, v)
 			}
 		}
-		r.pairOld[0], r.pairOld[1] = oa, ob
-		r.pairNew[0], r.pairNew[1] = na, nb
-		r.pairMembers[0], r.pairMembers[1] = a, b
+		r.pairOld[0], r.pairOld[1] = j.oldA, j.oldB
+		r.pairNew[0], r.pairNew[1] = j.newA, j.newB
+		r.pairMembers[0], r.pairMembers[1] = j.a, j.b
 		proper, changed := r.classifyStep(r.pairOld[:], r.pairNew[:])
 		if proper {
 			r.res.GroupSteps++
 			r.res.Messages += 2
 		}
 		r.applyDelta(r.pairMembers[:], r.pairOld[:], r.pairNew[:], changed)
-		r.states[a], r.states[b] = na, nb
-		pairs++
+		r.states[j.a], r.states[j.b] = j.newA, j.newB
 	}
-	return pairs
+	return len(r.pairJobs)
 }
 
 // Converges is a convenience wrapper for tests and experiments: it runs
