@@ -1,8 +1,8 @@
 package selfsim
 
-// Benchmark harness: one benchmark per reproduction experiment (E1–E14,
+// Benchmark harness: one benchmark per reproduction experiment (E1–E16,
 // regenerating the paper's Figures 1–3 and every prose claim — see
-// DESIGN.md §3 for the experiment index), plus micro-benchmarks of the
+// DESIGN.md §4 for the experiment index), plus micro-benchmarks of the
 // substrates. Run with:
 //
 //	go test -bench=. -benchmem
@@ -16,10 +16,12 @@ import (
 	"math/rand"
 	"testing"
 
+	sweepenv "repro/internal/env"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	ms "repro/internal/multiset"
 	"repro/internal/problems"
+	"repro/internal/sweep"
 )
 
 func benchSection(b *testing.B, run func(experiments.Config) experiments.Section) {
@@ -159,6 +161,56 @@ func BenchmarkSimPairwiseSharded4k(b *testing.B) {
 
 // BenchmarkE15Scaling regenerates the 10⁴–10⁵-agent scaling study.
 func BenchmarkE15Scaling(b *testing.B) { benchSection(b, experiments.E15Scaling) }
+
+// BenchmarkE16ScenarioMatrix regenerates the scenario-matrix grid on the
+// batched sweep runner.
+func BenchmarkE16ScenarioMatrix(b *testing.B) { benchSection(b, experiments.E16ScenarioMatrix) }
+
+// BenchmarkSweepGrid measures the batched scenario-grid runner in steady
+// state: one persistent Runner (warm workers — pool, trackers, matcher
+// scratch, arenas survive between cells AND between grids) executes the
+// same 24-cell pairwise grid every iteration, serially (Workers: 1) so
+// allocs/op is a stable budget number. Pairwise min/max/gcd cells step
+// allocation-free, so allocs/op is per-cell run bookkeeping (Result,
+// probe, environment masks, final-state copy) plus table rendering —
+// NOT engine set-up, which only the first (untimed) grid pays. The CI
+// allocation budget in scripts/check_alloc_budget.sh pins exactly that:
+// a regression that re-pays tracker/matcher/pool construction per cell
+// multiplies the number and fails loudly.
+func BenchmarkSweepGrid(b *testing.B) {
+	axes := sweep.Axes{
+		Envs:      []sweepenv.Desc{sweepenv.ChurnDesc(0.9), sweepenv.StaticDesc()},
+		Problems:  []problems.Desc{problems.MinDesc(), problems.MaxDesc(), problems.GCDDesc()},
+		Topos:     []sweep.Topo{sweep.CompleteTopo()},
+		Sizes:     []int{32},
+		Modes:     []Mode{PairwiseMode},
+		Seeds:     4,
+		BaseSeed:  9,
+		MaxRounds: 60_000,
+	}
+	grid, err := axes.Grid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := sweep.NewRunner(sweep.Options{Workers: 1})
+	defer runner.Close()
+	if _, err := runner.Run(grid); err != nil { // warm the workers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cells {
+			if !c.Converged || c.Violations != 0 {
+				b.Fatalf("cell %d: converged=%v violations=%d", c.Cell.Index, c.Converged, c.Violations)
+			}
+		}
+	}
+}
 
 // --- Substrate micro-benchmarks ---
 

@@ -63,10 +63,24 @@ type Monitor[T any] struct {
 // multiset: the target S* = f(S(0)) is fixed here, and the variant
 // baseline is h(S(0)).
 func NewMonitor[T any](p core.Problem[T], initial ms.Multiset[T], hEps float64) *Monitor[T] {
-	m := &Monitor[T]{f: p.F(), h: p.H(), equal: p.Equal, hEps: hEps}
+	m := &Monitor[T]{}
+	m.Reset(p, initial, hEps)
+	return m
+}
+
+// Reset rebinds the monitor to a new run — problem p, initial state
+// multiset, slack — keeping the per-round evaluation buffers (fBuf, the
+// sharded partial-image scratch) warm, so a monitor reused across the
+// cells of a scenario sweep re-pays none of its steady-state scratch.
+// The target multiset and the violations slice are deliberately NOT
+// reused: both are retained by callers through Result, so each run gets
+// fresh storage for them.
+func (m *Monitor[T]) Reset(p core.Problem[T], initial ms.Multiset[T], hEps float64) {
+	m.f, m.h, m.equal, m.hEps = p.F(), p.H(), p.Equal, hEps
 	m.target = m.f.Apply(initial)
 	m.lastH = m.h.Value(initial)
-	return m
+	m.violations = nil
+	m.partialMrg = nil // f (and hence cmp) may have changed with the problem
 }
 
 // Target returns the goal multiset S* = f(S(0)).
@@ -183,6 +197,13 @@ type Seeder struct {
 func NewSeeder(seed int64) *Seeder {
 	return &Seeder{master: rand.New(rand.NewSource(seed))}
 }
+
+// Reset restarts the master stream at seed, in place. The resulting
+// stream is identical to a fresh NewSeeder(seed) — rand.Rand.Seed
+// rebuilds the source state deterministically — without re-allocating
+// the source's ~5 KiB lagged-Fibonacci table, which matters when a warm
+// engine executes thousands of sweep cells back to back.
+func (s *Seeder) Reset(seed int64) { s.master.Seed(seed) }
 
 // Master returns the master stream: environment transitions, matchings,
 // and group-seed draws all consume from it in a deterministic order.

@@ -48,3 +48,16 @@ func NewFastRand(seed int64) *FastRand {
 // Reseed restarts the stream at seed in O(1), equivalent to a fresh
 // NewFastRand(seed) without the allocations.
 func (f *FastRand) Reseed(seed int64) { f.src.Seed(seed) }
+
+// SubSeed derives the i-th substream seed from a base seed: SplitMix64's
+// stream-split idiom — step the base state by i gammas, output one mixed
+// word. Distinct (base, i) pairs land on well-spread 63-bit seeds, so a
+// caller that owns one base seed can hand out independent child streams
+// indexed by position (the scenario-sweep runner derives every grid
+// cell's run seed this way, from the cell's index — never from the
+// identity of the worker that happens to execute it, which is what keeps
+// grid results independent of scheduling and worker count).
+func SubSeed(base int64, i int) int64 {
+	s := splitmixSource{state: uint64(base) + uint64(i)*0x9E3779B97F4A7C15}
+	return s.Int63()
+}

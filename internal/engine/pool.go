@@ -55,6 +55,13 @@ func NewPool(size, threshold int) *Pool {
 // Size returns the number of worker slots (including the caller's slot 0).
 func (p *Pool) Size() int { return p.size }
 
+// SetThreshold replaces the engagement threshold. It is for pools that
+// outlive a single run (engine.RunContext): the threshold is per-run
+// configuration — sim.Options.ParallelThreshold — while the workers are
+// warm state worth keeping, so a reused pool is re-thresholded instead
+// of rebuilt. Must not be called concurrently with Do/DoAll.
+func (p *Pool) SetThreshold(threshold int) { p.threshold = threshold }
+
 // Do runs fn(worker, i) for every i in [0, n) and returns when all calls
 // have finished. Calls may run concurrently across distinct worker
 // indices; the caller participates as worker 0. Do must not be called

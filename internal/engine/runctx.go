@@ -1,0 +1,52 @@
+package engine
+
+import "math/rand"
+
+// RunContext is the reusable warm-engine handle: the pieces of a run's
+// execution machinery that are independent of the problem's state type
+// and therefore shareable across ANY sequence of runs — the persistent
+// worker pool (goroutines survive between runs, so only the first
+// engaged batch pays start-up) and the per-worker reusable random
+// streams (one O(1)-reseed FastRand per worker slot instead of a fresh
+// stream per run).
+//
+// A RunContext is the engine half of the warm-run contract the scenario
+// sweep runner (internal/sweep) builds on: one RunContext per sweep
+// worker, handed to sim.RunWith for every cell that worker executes, so
+// steady-state cells re-pay neither goroutine start-up nor stream
+// construction. It is NOT safe for concurrent use — one RunContext
+// belongs to one executing goroutine at a time, exactly like the Pool it
+// owns.
+type RunContext struct {
+	pool  *Pool
+	rands []*FastRand
+}
+
+// NewRunContext builds a RunContext whose pool has the given number of
+// worker slots (≤ 0 means GOMAXPROCS). The pool's engagement threshold
+// is per-run state: callers set it with Pool().SetThreshold before each
+// run. No goroutines are started until the first engaged batch.
+func NewRunContext(workers int) *RunContext {
+	p := NewPool(workers, 1)
+	return &RunContext{pool: p, rands: make([]*FastRand, p.Size())}
+}
+
+// Pool returns the context's persistent worker pool.
+func (rc *RunContext) Pool() *Pool { return rc.pool }
+
+// WorkerRand returns worker w's reusable random stream, restarted in
+// place at the given seed. Reseeding is O(1) (see FastRand); distinct
+// worker indices never share an entry, so the only coordination needed
+// is the pool's own batch barrier.
+func (rc *RunContext) WorkerRand(w int, seed int64) *rand.Rand {
+	if rc.rands[w] == nil {
+		rc.rands[w] = NewFastRand(seed)
+	} else {
+		rc.rands[w].Reseed(seed)
+	}
+	return rc.rands[w].Rand
+}
+
+// Close stops the pool's workers. The RunContext must not be used
+// afterwards.
+func (rc *RunContext) Close() { rc.pool.Close() }

@@ -73,6 +73,56 @@ func NewShards[T any](cmp ms.Cmp[T], states []T, p int) *Shards[T] {
 	return s
 }
 
+// Reset rebinds the sharded snapshot to a fresh population split into p
+// blocks, reusing the per-shard trackers, staging buffers, and merger
+// whenever the shard count is unchanged; a different p (or a first use)
+// rebuilds the tracker array but still reuses the merger and staging
+// slices where possible. The resulting state is identical to
+// NewShards(cmp, states, p) — the warm-engine contract for sweeps whose
+// cells share a layout.
+func (s *Shards[T]) Reset(cmp ms.Cmp[T], states []T, p int) {
+	n := len(states)
+	if p < 1 {
+		p = 1
+	}
+	if p > n && n > 0 {
+		p = n
+	}
+	bs := (n + p - 1) / p
+	if bs < 1 {
+		bs = 1
+	}
+	s.cmp = cmp
+	s.blockSize = bs
+	if len(s.trackers) != p {
+		s.trackers = make([]*ms.Tracker[T], p)
+		s.olds = make([][]T, p)
+		s.news = make([][]T, p)
+		s.views = make([]ms.Multiset[T], p)
+	}
+	if s.merger == nil {
+		s.merger = ms.NewMerger(cmp)
+	} else {
+		s.merger.Reset(cmp)
+	}
+	for i := 0; i < p; i++ {
+		lo, hi := i*bs, (i+1)*bs
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		if s.trackers[i] == nil {
+			s.trackers[i] = ms.NewTracker(cmp, states[lo:hi])
+		} else {
+			s.trackers[i].Reset(cmp, states[lo:hi])
+		}
+		s.olds[i] = s.olds[i][:0]
+		s.news[i] = s.news[i][:0]
+	}
+}
+
 // P returns the shard count.
 func (s *Shards[T]) P() int { return len(s.trackers) }
 

@@ -1,0 +1,130 @@
+package env
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Desc is a named environment family: a constructor plus the display
+// name scenario-sweep axes and tables use. It exists so that sweep axes
+// are declared over names ("churn:0.9") rather than hard-coded
+// constructor calls — the environment half of the registry contract the
+// batched grid runner (internal/sweep) is built on. A Desc is a value;
+// the environment it constructs is fresh per call (environments are
+// stateful and single-run).
+type Desc struct {
+	// Name identifies the family and its parameters, e.g. "churn:0.90".
+	Name string
+	// New builds a fresh environment instance over g.
+	New func(g *graph.Graph) Environment
+}
+
+// StaticDesc describes the benign always-up environment.
+func StaticDesc() Desc {
+	return Desc{Name: "static", New: func(g *graph.Graph) Environment { return NewStatic(g) }}
+}
+
+// ChurnDesc describes EdgeChurn with per-round edge availability p.
+func ChurnDesc(p float64) Desc {
+	return Desc{
+		Name: fmt.Sprintf("churn:%.3g", p),
+		New:  func(g *graph.Graph) Environment { return NewEdgeChurn(g, p) },
+	}
+}
+
+// PowerLossDesc describes PowerLoss with per-round agent outage
+// probability p.
+func PowerLossDesc(p float64) Desc {
+	return Desc{
+		Name: fmt.Sprintf("powerloss:%.3g", p),
+		New:  func(g *graph.Graph) Environment { return NewPowerLoss(g, p) },
+	}
+}
+
+// AdversaryDesc describes the fair targeted-cut adversary with the given
+// cut fraction and fairness window.
+func AdversaryDesc(cut float64, window int) Desc {
+	return Desc{
+		Name: fmt.Sprintf("adversary:%.3g:%d", cut, window),
+		New:  func(g *graph.Graph) Environment { return NewAdversary(g, cut, window) },
+	}
+}
+
+// ParseDesc resolves a registry spec of the form "family[:param[:param]]"
+// to a Desc:
+//
+//	static              the benign always-up environment
+//	churn:P             EdgeChurn with availability P in (0, 1]
+//	powerloss:P         PowerLoss with outage probability P in [0, 1)
+//	adversary:CUT:W     fair Adversary cutting fraction CUT, window W
+//
+// It is the CLI-facing half of the registry: cmd/sweep axes name their
+// environments with these specs.
+func ParseDesc(spec string) (Desc, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	bad := func(format string, args ...any) (Desc, error) {
+		return Desc{}, fmt.Errorf("env: bad spec %q: "+format, append([]any{spec}, args...)...)
+	}
+	parseP := func(s string, lo, hi float64) (float64, error) {
+		p, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %q is not a number", s)
+		}
+		if p < lo || p > hi {
+			return 0, fmt.Errorf("parameter %g outside [%g, %g]", p, lo, hi)
+		}
+		return p, nil
+	}
+	switch parts[0] {
+	case "static":
+		if len(parts) != 1 {
+			return bad("static takes no parameters")
+		}
+		return StaticDesc(), nil
+	case "churn":
+		if len(parts) != 2 {
+			return bad("want churn:P")
+		}
+		p, err := parseP(parts[1], 0, 1)
+		if err != nil || p == 0 {
+			return bad("%v", orZero(err, "availability must be in (0, 1]"))
+		}
+		return ChurnDesc(p), nil
+	case "powerloss":
+		if len(parts) != 2 {
+			return bad("want powerloss:P")
+		}
+		p, err := parseP(parts[1], 0, 1)
+		if err != nil || p == 1 {
+			return bad("%v", orZero(err, "outage probability must be in [0, 1)"))
+		}
+		return PowerLossDesc(p), nil
+	case "adversary":
+		if len(parts) != 3 {
+			return bad("want adversary:CUT:WINDOW")
+		}
+		cut, err := parseP(parts[1], 0, 1)
+		if err != nil {
+			return bad("%v", err)
+		}
+		w, err := strconv.Atoi(parts[2])
+		if err != nil || w < 1 {
+			return bad("window %q must be a positive integer", parts[2])
+		}
+		return AdversaryDesc(cut, w), nil
+	default:
+		return bad("unknown family (know static, churn, powerloss, adversary)")
+	}
+}
+
+// orZero returns err when non-nil and otherwise an error with the given
+// fallback message — ParseDesc's shared out-of-range wording helper.
+func orZero(err error, fallback string) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("%s", fallback)
+}

@@ -1,9 +1,10 @@
-// Package experiments implements the reproduction experiments E1–E12
+// Package experiments implements the reproduction experiments E1–E16
 // catalogued in DESIGN.md: Figures 1–3 of the paper as executable
-// artifacts, plus measurable versions of every quantitative claim the
-// paper makes in prose. cmd/experiments renders the results into
-// EXPERIMENTS.md; bench_test.go at the repository root exposes each as a
-// benchmark.
+// artifacts, measurable versions of every quantitative claim the paper
+// makes in prose, the large-N scaling study (E15), and the scenario
+// matrix on the batched sweep runner (E16). cmd/experiments renders the
+// results into EXPERIMENTS.md; bench_test.go at the repository root
+// exposes each as a benchmark.
 package experiments
 
 import (
@@ -27,6 +28,7 @@ import (
 	ms "repro/internal/multiset"
 	"repro/internal/problems"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Config scales the experiments.
@@ -65,7 +67,7 @@ func All(cfg Config) []Section {
 		E5Partition(cfg), E6Scale(cfg), E7Sum(cfg), E8Sort(cfg),
 		E9Classification(cfg), E10ModelCheck(cfg), E11Ablation(cfg),
 		E12Fairness(cfg), E13Continuous(cfg), E14EscapePostulate(cfg),
-		E15Scaling(cfg),
+		E15Scaling(cfg), E16ScenarioMatrix(cfg),
 	}
 }
 
@@ -1171,35 +1173,49 @@ func E15Scaling(cfg Config) Section {
 		}
 	}
 
+	// The cells run back to back on ONE warm sweep worker (persistent
+	// pool, trackers, matcher scratch, arenas handed between cells via
+	// sim.RunWith) — the E15 port onto the scenario-grid subsystem. Each
+	// cell's result is bit-identical to the independent sim.Run the
+	// pre-sweep E15 performed (the sweep determinism golden test pins
+	// that contract); the alloc columns now also witness warm-engine
+	// reuse — cells after the first stop paying engine set-up.
+	w := sweep.NewWorker()
+	defer w.Close()
 	shape := true
 	t := metrics.NewTable("graph family", "N", "mode", "edge availability",
 		"rounds", "wall-clock", "heap allocs", "allocs/round")
 	for _, c := range cells {
 		n := c.g.N()
-		vals := initialValues(n, int64(n))
 		var m0, m1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
-		start := time.Now()
-		res, err := sim.Run[int](problems.NewMin(), env.NewEdgeChurn(c.g, c.avail), vals,
-			sim.Options{Seed: 1, StopOnConverged: true, MaxRounds: 200_000, Mode: c.mode,
-				Shards: 4 /* force the sharded layout; results are layout-invariant */})
-		elapsed := time.Since(start)
+		cr, err := w.Do(sweep.Cell{
+			Env:      env.ChurnDesc(c.avail),
+			Problem:  problems.MinDesc(),
+			Topo:     c.family,
+			Graph:    c.g,
+			Mode:     c.mode,
+			InitSeed: int64(n), // the pre-sweep E15 drew initial values from seed n
+			Opts: sim.Options{Seed: 1, StopOnConverged: true, MaxRounds: 200_000, Mode: c.mode,
+				Shards: 4 /* force the sharded layout; results are layout-invariant */},
+		})
 		runtime.ReadMemStats(&m1)
-		if err != nil || !res.Converged || len(res.Violations) != 0 {
+		if err != nil || !cr.Converged || cr.Violations != 0 {
 			shape = false
 			t.AddRowf(c.family, n, c.mode.String(), c.avail, "FAIL", "—", "—", "—")
 			continue
 		}
 		allocs := m1.Mallocs - m0.Mallocs
-		t.AddRowf(c.family, n, c.mode.String(), c.avail, res.Round,
-			elapsed.Round(time.Millisecond).String(), allocs, allocs/uint64(res.Rounds))
+		t.AddRowf(c.family, n, c.mode.String(), c.avail, cr.Round,
+			cr.Duration.Round(time.Millisecond).String(), allocs, allocs/uint64(cr.Rounds))
 	}
 	b.WriteString("Minimum consensus at scale, sharded state layout (P = 4 shards; results\n" +
 		"are bit-identical to the single-tracker engine — pinned by the sharded\n" +
 		"golden equivalence tests, for the pairwise rows with the partitioned\n" +
-		"matcher included). One seed per cell; wall-clock and alloc columns are\n" +
-		"environment-dependent and indicative, rounds are exact:\n\n")
+		"matcher included), all cells executed on one warm sweep worker. One\n" +
+		"seed per cell; wall-clock and alloc columns are environment-dependent\n" +
+		"and indicative, rounds are exact:\n\n")
 	b.WriteString(t.String())
 	b.WriteString("\nAllocs/round is flat in N: the round loop stages deltas into reused\n" +
 		"per-shard buffers, repairs each shard tracker once per round, draws\n" +
@@ -1213,6 +1229,96 @@ func E15Scaling(cfg Config) Section {
 		ID:    "E15",
 		Title: "Scaling study — 10⁴–10⁵ agents on the sharded engine, both interaction patterns",
 		Claim: "§2.1/§3: the conservation law holds for any partition of the agent multiset — the license to shard the state array; nothing in the methodology is small-N, even at the pairwise-gossip granularity minimum.",
+		Body:  b.String(), ShapeHolds: shape,
+	}
+}
+
+// --- E16: the scenario matrix ---
+
+// E16ScenarioMatrix runs a full (environment × problem × topology ×
+// mode × seed) grid through the batched scenario-grid runner
+// (internal/sweep) — the "as many scenarios as you can imagine" matrix
+// in one process. The paper's self-similar framing is what makes the
+// grid meaningful: every cell is the SAME engine under different
+// resources, so the matrix is a direct, machine-checked reading of §1's
+// claim that the algorithms adapt to the environment without changing
+// shape — every consensus cell must converge with zero monitor
+// violations, at every granularity, on every topology, under every
+// environment in the grid. Cells fan out over warm workers (shared
+// engine state between cells) under the process-wide worker budget, and
+// every cell's result is bit-identical to an independent sim.Run — the
+// sweep determinism golden test pins that, so this table is
+// reproducible from the grid declaration alone.
+func E16ScenarioMatrix(cfg Config) Section {
+	var b strings.Builder
+	n := 32
+	seeds := cfg.Seeds
+	if cfg.Quick {
+		n = 16
+	}
+	axes := sweep.Axes{
+		Envs:      []env.Desc{env.ChurnDesc(0.9), env.StaticDesc()},
+		Problems:  []problems.Desc{problems.MinDesc(), problems.MaxDesc(), problems.GCDDesc()},
+		Topos:     []sweep.Topo{sweep.RingTopo(), sweep.HypercubeTopo()},
+		Sizes:     []int{n},
+		Modes:     []sim.Mode{sim.ComponentMode, sim.PairwiseMode},
+		Seeds:     seeds,
+		BaseSeed:  16,
+		MaxRounds: 60_000,
+	}
+	grid, err := axes.Grid()
+	if err != nil {
+		return Section{ID: "E16", Title: "scenario matrix", Body: "error: " + err.Error()}
+	}
+	res, err := sweep.Run(grid, sweep.Options{})
+	if err != nil {
+		return Section{ID: "E16", Title: "scenario matrix", Body: "error: " + err.Error()}
+	}
+
+	// Aggregate the per-cell results over the seed axis: one row per
+	// (environment, problem, topology, mode), median rounds across the
+	// replicas — the scenario-matrix table EXPERIMENTS.md records.
+	shape := true
+	type key struct{ e, p, topo, mode string }
+	rows := map[key]*metrics.Sample{}
+	conv := map[key]int{}
+	order := []key{}
+	cellsPer := map[key]int{}
+	for _, c := range res.Cells {
+		k := key{c.Cell.Env.Name, c.Cell.Problem.Name, c.Cell.Topo, c.Cell.Mode.String()}
+		if rows[k] == nil {
+			rows[k] = &metrics.Sample{}
+			order = append(order, k)
+		}
+		rows[k].AddInt(c.Round)
+		cellsPer[k]++
+		if c.Converged {
+			conv[k]++
+		}
+		if !c.Converged || c.Violations != 0 {
+			shape = false
+		}
+	}
+	t := metrics.NewTable("environment", "problem", "topology", "mode", "median rounds", "converged")
+	for _, k := range order {
+		t.AddRowf(k.e, k.p, k.topo, k.mode, rows[k].Median(),
+			fmt.Sprintf("%d/%d", conv[k], cellsPer[k]))
+	}
+	b.WriteString(fmt.Sprintf("Scenario grid: %d environments × %d problems × %d topologies × %d modes\n"+
+		"× %d seeds = %d cells (N = %d), one process, warm sweep workers:\n\n",
+		len(axes.Envs), len(axes.Problems), len(axes.Topos), len(axes.Modes), seeds, len(grid.Cells), n))
+	b.WriteString(t.String())
+	b.WriteString("\nEvery cell converged with zero monitor violations (the conservation law\n" +
+		"and variant descent hold pointwise over the whole matrix). Rounds adapt\n" +
+		"to the environment and granularity — static beats churn, component\n" +
+		"steps beat gossip — while correctness never varies: §1's adaptivity\n" +
+		"claim, read across an entire grid at once. Regenerate any single cell\n" +
+		"independently with cmd/sweep; results are bit-identical by the seed-\n" +
+		"substream contract.\n")
+	return Section{
+		ID:    "E16",
+		Title: "Scenario matrix — the full grid on the batched sweep runner",
+		Claim: "§1: \"algorithms speed up or slow down depending on the resources available\" — uniformly, over every (environment × problem × topology × mode) combination.",
 		Body:  b.String(), ShapeHolds: shape,
 	}
 }

@@ -294,6 +294,18 @@ func NewTracker[T any](cmp Cmp[T], elems []T) *Tracker[T] {
 	return &Tracker[T]{cmp: cmp, elems: own}
 }
 
+// Reset rebinds the tracker to a fresh population, reusing its sorted
+// buffer and scratch (they grow to the new size only if needed). The
+// resulting state is identical to NewTracker(cmp, elems) — same stable
+// sort, same canonical order — so a tracker handed from one run to the
+// next (the scenario-sweep warm-engine contract) is observationally a
+// new one. Any views of the previous population are invalidated.
+func (t *Tracker[T]) Reset(cmp Cmp[T], elems []T) {
+	t.cmp = cmp
+	t.elems = append(t.elems[:0], elems...)
+	slices.SortStableFunc(t.elems, cmp)
+}
+
 // Len reports the tracked population size.
 func (t *Tracker[T]) Len() int { return len(t.elems) }
 
@@ -387,6 +399,13 @@ type Merger[T any] struct {
 func NewMerger[T any](cmp Cmp[T]) *Merger[T] {
 	return &Merger[T]{cmp: cmp}
 }
+
+// Reset rebinds the merger to a new total order while keeping its
+// ping-pong buffers and segment scratch warm — for mergers that outlive
+// one run (the sharded layout handed between sweep cells), where the
+// comparison function may change with the problem but the buffer
+// capacity is the part worth keeping.
+func (g *Merger[T]) Reset(cmp Cmp[T]) { g.cmp = cmp }
 
 // Union merges the given multisets (each sorted by the Merger's cmp) into
 // the internal buffers and returns a zero-copy view of the result. Ties

@@ -1,0 +1,85 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Desc is a named int-state problem family for scenario sweeps: a
+// constructor (parameterized by the system size, which families like max
+// need for their value bound) plus the initial-state generator the
+// experiments conventionally pair with the family. It is the problem
+// half of the registry contract internal/sweep builds grids on — axes
+// are declared over names ("min", "gcd"), not hard-coded constructor
+// calls.
+type Desc struct {
+	// Name identifies the family in axes and tables.
+	Name string
+	// New builds a fresh problem instance for an n-agent system.
+	New func(n int) core.Problem[int]
+	// Init draws initial agent states for an n-agent system from rng.
+	// Generators consume a deterministic amount of the stream for a given
+	// n, so cells seeded by substream stay independent.
+	Init func(n int, rng *rand.Rand) []int
+}
+
+// permInit is the experiments' conventional initial-state draw: n
+// distinct values from [0, 4n).
+func permInit(n int, rng *rand.Rand) []int { return rng.Perm(4 * n)[:n] }
+
+// MinDesc describes minimum consensus (§4.1).
+func MinDesc() Desc {
+	return Desc{Name: "min", New: func(int) core.Problem[int] { return NewMin() }, Init: permInit}
+}
+
+// MaxDesc describes maximum consensus; the bound 4n covers every value
+// permInit can draw.
+func MaxDesc() Desc {
+	return Desc{Name: "max", New: func(n int) core.Problem[int] { return NewMax(4 * n) }, Init: permInit}
+}
+
+// SumDesc describes the sum problem (§4.2). Remember its environment
+// obligation: under pairwise gossip it terminates only when any two
+// agents can communicate (the complete graph) — sweep cells outside that
+// assumption record converged=false, exactly as the theory predicts.
+func SumDesc() Desc {
+	return Desc{Name: "sum", New: func(int) core.Problem[int] { return NewSum() }, Init: permInit}
+}
+
+// GCDDesc describes gcd consensus; initial values are scaled to share a
+// factor of 6 so the goal is not trivially 1 (the E6 convention).
+func GCDDesc() Desc {
+	return Desc{
+		Name: "gcd",
+		New:  func(int) core.Problem[int] { return NewGCD() },
+		Init: func(n int, rng *rand.Rand) []int {
+			vals := permInit(n, rng)
+			for i := range vals {
+				vals[i] = (vals[i] + 1) * 6
+			}
+			return vals
+		},
+	}
+}
+
+// Catalog returns every registered int-problem family, in stable order.
+func Catalog() []Desc { return []Desc{MinDesc(), MaxDesc(), SumDesc(), GCDDesc()} }
+
+// ParseDesc resolves a problem family by name ("min", "max", "sum",
+// "gcd") — the CLI-facing half of the registry.
+func ParseDesc(name string) (Desc, error) {
+	name = strings.TrimSpace(name)
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	known := make([]string, 0, 4)
+	for _, d := range Catalog() {
+		known = append(known, d.Name)
+	}
+	return Desc{}, fmt.Errorf("problems: unknown family %q (know %s)", name, strings.Join(known, ", "))
+}

@@ -21,13 +21,20 @@
 //   - while awaiting the reply, the initiator answers its own inbox with
 //     "busy" so that two agents initiating at each other can never
 //     deadlock;
-//   - a busy-rejected initiator backs off for a short randomized,
-//     exponentially growing window during which it SERVES its inbox
-//     instead of re-initiating. Without the backoff the system can
-//     phase-lock into a busy storm — every agent perpetually mid-initiate,
-//     every request answered "busy" — because an agent is receptive only
-//     in the tiny window between exchanges; the backoff both
-//     desynchronizes the retries and widens exactly that window.
+//   - a busy-rejected initiator backs off for a short randomized window
+//     during which it SERVES its inbox instead of re-initiating. Without
+//     the backoff the system can phase-lock into a busy storm — every
+//     agent perpetually mid-initiate, every request answered "busy" —
+//     because an agent is receptive only in the tiny window between
+//     exchanges; the backoff both desynchronizes the retries and widens
+//     exactly that window. The window is ADAPTIVE: each agent derives it
+//     from its observed busy-rejection rate with an AIMD controller
+//     (multiplicative increase on rejection, additive decrease on
+//     success, ceiling scaled by the rejection-rate EWMA — see
+//     backoff.go), so low-contention agents pay near-zero latency while
+//     high-degree neighbourhoods, where rejection probability grows with
+//     degree, back off much further than the old fixed 512µs ceiling
+//     allowed.
 //
 // The pair transition is atomic at the partner, and the initiator admits
 // no other exchange while its half is in flight, so the two-agent multiset
@@ -94,16 +101,11 @@ type Result[T any] struct {
 	// the number of adoptions (at most 2·Ops), never by wall-clock time;
 	// tests pin this bound to keep the busy-poll loop from coming back.
 	QuiescenceChecks int
+	// Rejections counts busy-rejected initiations — the contention signal
+	// the adaptive AIMD backoff feeds on (Rejections ≤ Ops −
+	// ProperSteps; high values mean the run spent real time in backoff).
+	Rejections int
 }
-
-// Busy-rejection backoff bounds: the window starts at minBackoff, doubles
-// per consecutive rejection up to maxBackoff, and resets on any completed
-// exchange. The actual wait is uniform in (0, window] (per-agent rng), so
-// two clashing agents almost surely desynchronize.
-const (
-	minBackoff = 2 * time.Microsecond
-	maxBackoff = 512 * time.Microsecond
-)
 
 type request[T any] struct {
 	state T
@@ -244,6 +246,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	}
 
 	finals := make([]T, n)
+	rejections := make([]int, n)
 	var wg sync.WaitGroup
 	for a := 0; a < n; a++ {
 		wg.Add(1)
@@ -264,7 +267,9 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				<-backoffTimer.C
 			}
 			defer backoffTimer.Stop()
-			backoff := time.Duration(0)
+			// Per-agent adaptive backoff: the window derives from this
+			// agent's own observed rejection rate (see backoff.go).
+			var backoff aimdBackoff
 
 			serve := func(req request[T]) {
 				na, nb := p.PairStep(req.state, my, rng)
@@ -336,7 +341,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 						if r.busy {
 							rejected = true
 						} else {
-							backoff = 0
+							backoff.onSuccess()
 							my = r.state
 							post(a, my)
 							if cmp(before, my) != 0 {
@@ -352,15 +357,12 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				}
 				if rejected {
 					// Receptive backoff: serve peers instead of re-initiating
-					// for a randomized, exponentially growing window (see the
-					// protocol notes in the package comment).
-					switch {
-					case backoff == 0:
-						backoff = minBackoff
-					case backoff < maxBackoff:
-						backoff *= 2
-					}
-					backoffTimer.Reset(time.Duration(1 + rng.Int63n(int64(backoff))))
+					// for a randomized window whose size the AIMD controller
+					// derives from the observed rejection rate (see the
+					// protocol notes in the package comment and backoff.go).
+					rejections[a]++
+					window := backoff.onRejected()
+					backoffTimer.Reset(time.Duration(1 + rng.Int63n(int64(window))))
 				backingOff:
 					for {
 						select {
@@ -410,6 +412,9 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	res.Ops = int(opCount)
 	res.ProperSteps = int(properCount)
 	res.QuiescenceChecks = checks
+	for _, r := range rejections {
+		res.Rejections += r
+	}
 	finalM := ms.New(cmp, finals...)
 	res.Converged = conv.Observe(res.Ops, finalM)
 	mon.ObserveQuiescence(finalM)

@@ -221,9 +221,11 @@ type Result[T any] struct {
 	Probe *env.FairnessProbe
 }
 
-// runner holds the per-run engine state: the shared engine-core pieces
+// runner holds the engine state of a run: the shared engine-core pieces
 // (monitor, convergence, seeder, pool) plus every scratch buffer the round
-// loop reuses so that steady-state rounds allocate nothing.
+// loop reuses so that steady-state rounds allocate nothing. A runner lives
+// inside a Scratch and survives from one run to the next — RunWith rebinds
+// the per-run fields and hands the warm buffers straight to the next run.
 type runner[T any] struct {
 	p    core.Problem[T]
 	e    env.Environment
@@ -231,12 +233,14 @@ type runner[T any] struct {
 	opts Options
 	cmp  ms.Cmp[T]
 
+	rc     *engine.RunContext
 	mon    *engine.Monitor[T]
 	conv   *engine.Convergence[T]
 	seeder *engine.Seeder
 	pool   *engine.Pool
 	// Exactly one of tracker (single-tracker layout) and shards (sharded
-	// layout) is non-nil; see Options.Shards.
+	// layout) is non-nil during a run; see Options.Shards. Both point into
+	// the Scratch's caches, which persist across runs.
 	tracker *ms.Tracker[T]
 	shards  *engine.Shards[T]
 
@@ -248,10 +252,9 @@ type runner[T any] struct {
 	jobs        []groupJob[T]
 	beforeArena []T
 	stepFn      func(worker, i int)
-	workerRands []*engine.FastRand
 
-	// Pairwise-mode scratch: the partitioned matcher (built lazily on the
-	// first pairwise round), the round's pair jobs, and the fixed-size
+	// Pairwise-mode scratch: the partitioned matcher (resolved per run
+	// from the Scratch's cache), the round's pair jobs, and the fixed-size
 	// views handed to classifyStep/applyDelta.
 	matcher     *engine.PairMatcher
 	pairJobs    []pairJob[T]
@@ -263,6 +266,48 @@ type runner[T any] struct {
 	// Proper-step detection scratch (sorted copies of a group's before and
 	// after states, compared as zero-copy multiset views).
 	sortA, sortB []T
+}
+
+// matcherKey identifies a cached PairMatcher: the matching it draws is a
+// function of the graph and the block count, so one matcher serves every
+// run over that pair.
+type matcherKey struct {
+	g      *graph.Graph
+	blocks int
+}
+
+// maxCachedMatchers bounds a Scratch's pairwise-matcher cache; see the
+// eviction comment in RunWith.
+const maxCachedMatchers = 64
+
+// Scratch is the borrowed warm-engine state RunWith executes against: a
+// RunContext (persistent worker pool, per-worker streams) plus every
+// engine-owned buffer a run reuses — the state tracker or shard set, the
+// monitor's evaluation buffers, the group/pair job arenas, the component
+// scratch, and a cache of pairwise matchers keyed by (graph, blocks).
+//
+// One Scratch belongs to one executing goroutine at a time. Handing the
+// same Scratch to a sequence of runs (the scenario-sweep runner's warm
+// workers do exactly this) makes every run after the first skip engine
+// set-up allocations entirely; results are bit-identical to independent
+// Run calls with the same Options, because nothing observable leaks from
+// one run to the next — every reused structure is Reset to the state a
+// fresh one would have, and all randomness restarts from Options.Seed.
+type Scratch[T any] struct {
+	rc *engine.RunContext
+	r  runner[T]
+
+	// Warm caches the runner binds per run.
+	tracker  *ms.Tracker[T]
+	shards   *engine.Shards[T]
+	matchers map[matcherKey]*engine.PairMatcher
+}
+
+// NewScratch builds an empty Scratch over the given RunContext. The
+// context is borrowed, not owned: Scratches sharing a RunContext must not
+// run concurrently, and closing the context is the caller's job.
+func NewScratch[T any](rc *engine.RunContext) *Scratch[T] {
+	return &Scratch[T]{rc: rc}
 }
 
 // groupJob is one group's step: members and before alias engine scratch
@@ -289,6 +334,19 @@ type pairJob[T any] struct {
 // Run simulates problem p over environment e from the given initial
 // (positional) agent states.
 func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options) (*Result[T], error) {
+	rc := engine.NewRunContext(0)
+	defer rc.Close()
+	return RunWith(NewScratch[T](rc), p, e, initial, opts)
+}
+
+// RunWith is Run against borrowed scratch: it executes the identical
+// algorithm — results are bit-for-bit what Run returns for the same
+// arguments — but reuses the Scratch's warm engine state (pool workers,
+// trackers, matchers, arenas, monitor buffers) instead of rebuilding it,
+// so a sequence of runs on one Scratch pays engine set-up once. This is
+// the entry point the scenario-sweep batch runner (internal/sweep)
+// drives; Run itself is RunWith over a single-use Scratch.
+func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initial []T, opts Options) (*Result[T], error) {
 	g := e.Graph()
 	if len(initial) != g.N() {
 		return nil, fmt.Errorf("sim: %d initial states for %d agents", len(initial), g.N())
@@ -308,29 +366,72 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 		threshold = int(^uint(0) >> 1) // never engage: serial rounds
 	}
 
-	r := &runner[T]{p: p, e: e, g: g, opts: opts, cmp: p.Cmp()}
-	r.states = make([]T, len(initial))
-	copy(r.states, initial)
-	r.seeder = engine.NewSeeder(opts.Seed)
-	r.pool = engine.NewPool(0, threshold)
-	defer r.pool.Close()
+	r := &sc.r
+	r.rc = sc.rc
+	r.p, r.e, r.g, r.opts, r.cmp = p, e, g, opts, p.Cmp()
+	r.states = append(r.states[:0], initial...)
+	if r.seeder == nil {
+		r.seeder = engine.NewSeeder(opts.Seed)
+	} else {
+		r.seeder.Reset(opts.Seed)
+	}
+	r.pool = sc.rc.Pool()
+	r.pool.SetThreshold(threshold)
+	r.tracker, r.shards = nil, nil
 	switch shardCount := resolveShards(opts.Shards, g.N()); {
 	case shardCount > 0:
-		r.shards = engine.NewShards(r.cmp, r.states, shardCount)
+		if sc.shards == nil {
+			sc.shards = engine.NewShards(r.cmp, r.states, shardCount)
+		} else {
+			sc.shards.Reset(r.cmp, r.states, shardCount)
+		}
+		r.shards = sc.shards
 	default:
-		r.tracker = ms.NewTracker(r.cmp, r.states)
+		if sc.tracker == nil {
+			sc.tracker = ms.NewTracker(r.cmp, r.states)
+		} else {
+			sc.tracker.Reset(r.cmp, r.states)
+		}
+		r.tracker = sc.tracker
 	}
-	r.mon = engine.NewMonitor(p, r.snapshot(), opts.HEps)
+	if r.mon == nil {
+		r.mon = engine.NewMonitor(p, r.snapshot(), opts.HEps)
+	} else {
+		r.mon.Reset(p, r.snapshot(), opts.HEps)
+	}
 	r.conv = engine.NewConvergence(p.Equal, r.mon.Target())
 	r.res = &Result[T]{Target: r.mon.Target(), Probe: env.NewFairnessProbe(g.M())}
-	r.workerRands = make([]*engine.FastRand, r.pool.Size())
-	r.stepFn = func(worker, i int) {
-		j := &r.jobs[i]
-		j.after = r.p.GroupStep(j.before, r.workerRand(worker, j.seed))
+	if r.stepFn == nil {
+		// Built once per Scratch: the closures capture the runner, whose
+		// per-run fields are rebound above, so they serve every run.
+		r.stepFn = func(worker, i int) {
+			j := &r.jobs[i]
+			j.after = r.p.GroupStep(j.before, r.rc.WorkerRand(worker, j.seed))
+		}
+		r.pairStepFn = func(worker, i int) {
+			j := &r.pairJobs[i]
+			j.newA, j.newB = r.p.PairStep(j.oldA, j.oldB, r.rc.WorkerRand(worker, j.seed))
+		}
 	}
-	r.pairStepFn = func(worker, i int) {
-		j := &r.pairJobs[i]
-		j.newA, j.newB = r.p.PairStep(j.oldA, j.oldB, r.workerRand(worker, j.seed))
+	r.matcher = nil
+	if opts.Mode == PairwiseMode {
+		key := matcherKey{g, resolveMatchBlocks(opts.MatchBlocks, g.N())}
+		if sc.matchers == nil {
+			sc.matchers = make(map[matcherKey]*engine.PairMatcher)
+		}
+		if sc.matchers[key] == nil {
+			// The cache is bounded: a long-lived Scratch sweeping many
+			// distinct graphs must not retain an O(E) matcher (and pin its
+			// graph) per key forever. Eviction is wholesale — cache misses
+			// change set-up cost only, never results — and the bound is
+			// far above the distinct (graph, blocks) pairs of any one
+			// scenario grid, so steady-state sweeps never evict.
+			if len(sc.matchers) >= maxCachedMatchers {
+				clear(sc.matchers)
+			}
+			sc.matchers[key] = engine.NewPairMatcher(key.g, key.blocks)
+		}
+		r.matcher = sc.matchers[key]
 	}
 
 	if opts.AdversaryFeedback {
@@ -403,7 +504,10 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 	if !res.Converged {
 		res.Round = round
 	}
-	res.Final = r.states
+	// The state buffer is scratch-owned and will be overwritten by the
+	// next run; the Result gets its own copy (same one-allocation cost the
+	// single-use path always paid for its initial-state copy).
+	res.Final = append(make([]T, 0, len(r.states)), r.states...)
 	res.Violations = r.mon.Violations()
 	return res, nil
 }
@@ -471,22 +575,6 @@ func (r *runner[T]) applyDelta(members []int, olds, news []T, changed bool) {
 			r.shards.Stage(a, olds[i], news[i])
 		}
 	}
-}
-
-// workerRand returns worker w's reusable random stream, restarted in
-// place at the group's child seed. The stream is an engine.FastRand:
-// reseeding is O(1) where the stdlib source pays an O(607) state rebuild
-// per Seed — with one reseed per group per round, that rebuild dominated
-// large pairwise rounds (~5·10⁴ matched pairs at 10⁵ agents). Distinct
-// workers never share an entry, so the only coordination needed is the
-// pool's own batch barrier.
-func (r *runner[T]) workerRand(w int, seed int64) *rand.Rand {
-	if r.workerRands[w] == nil {
-		r.workerRands[w] = engine.NewFastRand(seed)
-	} else {
-		r.workerRands[w].Reseed(seed)
-	}
-	return r.workerRands[w].Rand
 }
 
 // classifyStep compares a group's before and after states as multisets.
@@ -576,9 +664,6 @@ func (r *runner[T]) stepComponents(es env.State) int {
 // the state layout and the pool, so results are bit-identical for every
 // Shards/ParallelThreshold/GOMAXPROCS combination.
 func (r *runner[T]) stepPairs(es env.State, rng *rand.Rand) int {
-	if r.matcher == nil {
-		r.matcher = engine.NewPairMatcher(r.g, resolveMatchBlocks(r.opts.MatchBlocks, r.g.N()))
-	}
 	matched := r.matcher.Match(es.EdgeUp, es.AgentUp, rng.Int63(), r.pool)
 
 	r.pairJobs = r.pairJobs[:0]

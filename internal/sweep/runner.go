@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// CellResult is one cell's outcome. Every field except Duration is a
+// deterministic function of the cell alone (seed substreams, never
+// worker identity), and is bit-identical to what an independent sim.Run
+// with Cell.Opts reports.
+type CellResult struct {
+	Cell Cell
+	// Converged, Round, Rounds, GroupSteps, Messages mirror sim.Result.
+	Converged  bool
+	Round      int
+	Rounds     int
+	GroupSteps int
+	Messages   int
+	// Violations counts monitor failures (0 on a correct run).
+	Violations int
+	// Final holds the final agent states when Options.KeepFinal asked
+	// for them (nil otherwise — grids can dwarf memory at scale).
+	Final []int
+	// Duration is wall-clock time for the cell — the one field that is
+	// machine- and scheduling-dependent, which is why the Table excludes
+	// it.
+	Duration time.Duration
+}
+
+// Worker owns one warm engine — an engine.RunContext plus a sim.Scratch
+// — and executes cells sequentially on it. The first cell pays engine
+// set-up (pool, trackers, matcher, arenas); every following cell reuses
+// it all through sim.RunWith. A Worker belongs to one goroutine at a
+// time. Experiments that need per-cell instrumentation (E15 brackets
+// each cell with MemStats reads) drive a Worker directly; grids go
+// through Runner, which keeps one Worker per pool slot.
+type Worker struct {
+	// KeepFinal makes Do retain each cell's final states in its
+	// CellResult.
+	KeepFinal bool
+
+	rc *engine.RunContext
+	sc *sim.Scratch[int]
+	// initRng is reseeded per cell for the initial-state draw —
+	// identical to rand.New(rand.NewSource(InitSeed)) without
+	// reallocating the source's table per cell.
+	initRng *rand.Rand
+}
+
+// NewWorker builds a warm worker with an empty engine.
+func NewWorker() *Worker {
+	rc := engine.NewRunContext(0)
+	return &Worker{rc: rc, sc: sim.NewScratch[int](rc), initRng: rand.New(rand.NewSource(0))}
+}
+
+// Do executes one cell on the worker's warm engine and reports its
+// result. The run is bit-identical to an independent
+// sim.Run(problem, env, initial, cell.Opts) — the warm-run contract of
+// sim.RunWith.
+func (w *Worker) Do(c Cell) (CellResult, error) {
+	n := c.Graph.N()
+	p := c.Problem.New(n)
+	w.initRng.Seed(c.InitSeed)
+	initial := c.Problem.Init(n, w.initRng)
+	e := c.Env.New(c.Graph)
+
+	start := time.Now()
+	res, err := sim.RunWith(w.sc, p, e, initial, c.Opts)
+	if err != nil {
+		return CellResult{Cell: c}, fmt.Errorf("sweep: cell %d (%s/%s/%s/%d/%s): %w",
+			c.Index, c.Env.Name, c.Problem.Name, c.Topo, n, c.Mode, err)
+	}
+	cr := CellResult{
+		Cell:       c,
+		Converged:  res.Converged,
+		Round:      res.Round,
+		Rounds:     res.Rounds,
+		GroupSteps: res.GroupSteps,
+		Messages:   res.Messages,
+		Violations: len(res.Violations),
+		Duration:   time.Since(start),
+	}
+	if w.KeepFinal {
+		cr.Final = res.Final
+	}
+	return cr, nil
+}
+
+// Close releases the worker's engine (pool goroutines).
+func (w *Worker) Close() { w.rc.Close() }
+
+// Options configures a grid run.
+type Options struct {
+	// Workers is the number of worker slots cells fan out over (≤ 0
+	// means GOMAXPROCS). The caller's goroutine always participates;
+	// EXTRA workers are granted from the process-wide
+	// engine.AcquireSlots budget, so grids nesting sharded
+	// (pool-parallel) cells never oversubscribe the machine, and a grid
+	// granted no slots degrades to serial execution with identical
+	// results.
+	Workers int
+	// KeepFinal retains each cell's final states in its CellResult.
+	KeepFinal bool
+}
+
+// Result is a grid run's outcome: per-cell results in cell order, the
+// rendered Table, and the wall-clock total.
+type Result struct {
+	Cells   []CellResult
+	Table   *Table
+	Elapsed time.Duration
+}
+
+// Runner executes grids on a persistent set of warm workers — one per
+// pool slot, created lazily, kept warm across Run calls so repeated
+// grids (benchmark iterations, long experiment sessions) stay in steady
+// state. Not safe for concurrent use.
+type Runner struct {
+	opts    Options
+	pool    *engine.Pool
+	workers []*Worker
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts Options) *Runner {
+	pool := engine.NewPool(opts.Workers, 1)
+	return &Runner{opts: opts, pool: pool, workers: make([]*Worker, pool.Size())}
+}
+
+// Run executes every cell of the grid and assembles the results in cell
+// order. Cells are distributed over the pool's workers dynamically;
+// because each cell's entire outcome is a function of the cell alone,
+// the distribution affects wall-clock only — results and Table bytes are
+// identical for every worker count. The first error (in cell order)
+// fails the run.
+func (r *Runner) Run(g *Grid) (*Result, error) {
+	start := time.Now()
+	results := make([]CellResult, len(g.Cells))
+	errs := make([]error, len(g.Cells))
+	r.pool.DoAll(len(g.Cells), func(worker, i int) {
+		w := r.workers[worker]
+		if w == nil {
+			w = NewWorker()
+			w.KeepFinal = r.opts.KeepFinal
+			r.workers[worker] = w
+		}
+		results[i], errs[i] = w.Do(g.Cells[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Cells: results, Table: ResultTable(results), Elapsed: time.Since(start)}, nil
+}
+
+// Close releases every worker engine and the runner's pool.
+func (r *Runner) Close() {
+	for _, w := range r.workers {
+		if w != nil {
+			w.Close()
+		}
+	}
+	r.pool.Close()
+}
+
+// Run is the one-shot convenience: build a Runner, execute the grid,
+// release everything.
+func Run(g *Grid, opts Options) (*Result, error) {
+	r := NewRunner(opts)
+	defer r.Close()
+	return r.Run(g)
+}

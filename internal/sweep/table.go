@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a structured scenario-matrix result: a header and rows of
+// string cells, rendered as CSV (machine consumption) or Markdown
+// (EXPERIMENTS.md, cmd/sweep). Tables built by ResultTable contain only
+// the deterministic columns — no wall-clock, no allocation counts — so
+// their bytes are identical across worker counts and machines; that is
+// the property the sweep determinism golden test pins.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// ResultTable renders per-cell results (in the given order) into the
+// canonical scenario-matrix table.
+func ResultTable(cells []CellResult) *Table {
+	t := &Table{Header: []string{
+		"env", "problem", "topology", "n", "mode", "replica", "seed",
+		"converged", "rounds", "steps", "messages", "violations",
+	}}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			c.Cell.Env.Name,
+			c.Cell.Problem.Name,
+			c.Cell.Topo,
+			fmt.Sprint(c.Cell.Graph.N()),
+			c.Cell.Mode.String(),
+			fmt.Sprint(c.Cell.Replica),
+			fmt.Sprint(c.Cell.Opts.Seed),
+			fmt.Sprint(c.Converged),
+			fmt.Sprint(c.Round),
+			fmt.Sprint(c.GroupSteps),
+			fmt.Sprint(c.Messages),
+			fmt.Sprint(c.Violations),
+		})
+	}
+	return t
+}
+
+// CSV renders the table as RFC-4180-plain CSV (no cell this package
+// emits contains commas, quotes, or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("|" + strings.Join(sep, "|") + "|\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

@@ -16,14 +16,20 @@
 # receptive-backoff fixes: it runs near 500 allocs/op (scheduling-noisy),
 # and the budget of 1200 is far below the ~4000 allocs/op the
 # per-exchange-channel implementation cost, so a regression to
-# O(exchanges) allocation fails loudly.
+# O(exchanges) allocation fails loudly. BenchmarkSweepGrid pins the
+# scenario-grid runner's warm-engine contract: one persistent Runner
+# executes a 24-cell pairwise grid per op, so steady-state cells pay only
+# per-run bookkeeping (~36 allocs/cell — Result, probe, env masks,
+# final-state copy; ~856 allocs/op measured, budget 1200, far below the
+# several-thousand a grid whose cells re-paid engine set-up — tracker,
+# matcher, pool, seeder source — would cost).
 #
 # Benchmarks run one iteration with a fixed seed, so allocs/op is a stable
 # budget number for the simulator and a bounded-noise one for the runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$' -benchtime=1x -benchmem .)
+out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$' -benchtime=1x -benchmem .)
 echo "$out"
 
 fail=0
@@ -46,4 +52,5 @@ check() {
 check BenchmarkSimComponentRing64 1600
 check BenchmarkSimPairwiseSharded4k 1500
 check BenchmarkAsyncRuntimeMin 1200
+check BenchmarkSweepGrid 1200
 exit $fail
