@@ -1,8 +1,8 @@
 package selfsim
 
-// Benchmark harness: one benchmark per reproduction experiment (E1–E16,
+// Benchmark harness: one benchmark per reproduction experiment (E1–E17,
 // regenerating the paper's Figures 1–3 and every prose claim — see
-// DESIGN.md §4 for the experiment index), plus micro-benchmarks of the
+// DESIGN.md §5 for the experiment index), plus micro-benchmarks of the
 // substrates. Run with:
 //
 //	go test -bench=. -benchmem
@@ -15,7 +15,9 @@ package selfsim
 import (
 	"math/rand"
 	"testing"
+	"time"
 
+	"repro/internal/dynamics"
 	sweepenv "repro/internal/env"
 	"repro/internal/experiments"
 	"repro/internal/geom"
@@ -165,6 +167,76 @@ func BenchmarkE15Scaling(b *testing.B) { benchSection(b, experiments.E15Scaling)
 // BenchmarkE16ScenarioMatrix regenerates the scenario-matrix grid on the
 // batched sweep runner.
 func BenchmarkE16ScenarioMatrix(b *testing.B) { benchSection(b, experiments.E16ScenarioMatrix) }
+
+// BenchmarkE17Dynamics regenerates the fault-and-dynamism matrix
+// (scripted crash/recover, partition/heal, burst schedules).
+func BenchmarkE17Dynamics(b *testing.B) { benchSection(b, experiments.E17Dynamics) }
+
+// BenchmarkSimWithDynamics is BenchmarkSimComponentRing64 with an EMPTY
+// dynamics schedule attached: the same run, rounds, and results, plus
+// the dynamics hook on the hot path (per-round Begin/EndRound, the
+// frozen check over an empty list). Its CI allocation budget equals the
+// plain component budget, pinning the subsystem contract that an empty
+// schedule adds ~0 allocs/round — the hook must stay invisible until a
+// schedule actually fires something.
+func BenchmarkSimWithDynamics(b *testing.B) {
+	g := Ring(64)
+	vals := rand.New(rand.NewSource(1)).Perm(256)[:64]
+	empty := dynamics.NewSchedule()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate[int](NewMin(), EdgeChurn(g, 0.5), vals,
+			Options{Seed: 1, StopOnConverged: true, MaxRounds: 100_000, Dynamics: empty})
+		if err != nil || !res.Converged {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// benchAsyncBackoff is the backoff field-validation harness (ROADMAP
+// item): min consensus on the COMPLETE graph at 10³ agents — the
+// high-degree regime where busy-rejection probability is largest and
+// the fixed 512µs ladder was never tuned — under either backoff policy.
+// It reports ProperSteps/sec (useful throughput) and the busy-rejection
+// counts the controller feeds on; EXPERIMENTS.md's appendix records the
+// measured comparison and the tuned rejectionRateShift.
+func benchAsyncBackoff(b *testing.B, fixed bool) {
+	g := Complete(1000)
+	vals := rand.New(rand.NewSource(11)).Perm(4000)[:1000]
+	var props, rejs, ops int
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		o := DefaultAsyncOptions(int64(i) + 1)
+		o.Timeout = 60 * time.Second
+		o.MaxOps = 5_000_000
+		// The backoff study isolates contention: keep the link table
+		// static instead of re-rolling 5·10⁵ edges every 16 initiations.
+		o.RefreshEvery = 1 << 30
+		o.FixedBackoff = fixed
+		res, err := SimulateAsync[int](NewMin(), g, vals, o)
+		if err != nil || !res.Converged {
+			b.Fatal("async run failed")
+		}
+		props += res.ProperSteps
+		rejs += res.Rejections
+		ops += res.Ops
+	}
+	elapsed := time.Since(start).Seconds()
+	b.ReportMetric(float64(props)/elapsed, "propersteps/s")
+	b.ReportMetric(float64(rejs)/float64(b.N), "rejections/run")
+	b.ReportMetric(float64(ops)/float64(b.N), "ops/run")
+}
+
+// BenchmarkAsyncBackoffAIMDComplete1k measures the adaptive AIMD
+// controller on K1000.
+func BenchmarkAsyncBackoffAIMDComplete1k(b *testing.B) { benchAsyncBackoff(b, false) }
+
+// BenchmarkAsyncBackoffFixedComplete1k measures the legacy fixed
+// doubling ladder on the same system — the baseline the AIMD controller
+// replaced.
+func BenchmarkAsyncBackoffFixedComplete1k(b *testing.B) { benchAsyncBackoff(b, true) }
 
 // BenchmarkSweepGrid measures the batched scenario-grid runner in steady
 // state: one persistent Runner (warm workers — pool, trackers, matcher

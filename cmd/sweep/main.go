@@ -1,19 +1,27 @@
 // Command sweep runs a declarative scenario grid — (environment ×
-// problem × topology × size × mode × seed) — in one process on the
-// batched grid runner (internal/sweep) and renders the results as CSV
-// or Markdown.
+// problem × topology × size × dynamics × mode × seed) — in one process
+// on the batched grid runner (internal/sweep) and renders the results
+// as CSV or Markdown.
 //
 //	sweep                                        # default demo grid
 //	sweep -envs churn:0.9,static -problems min,gcd \
 //	      -topos ring,hypercube -sizes 64,256 \
 //	      -modes component,pairwise -seeds 4     # explicit grid
+//	sweep -dynamics none,partition:2:1:40,crashes:0.02:20  # fault axis
+//	sweep -cells 0-9,42 ...                      # subset of a grid
 //	sweep -format csv -o matrix.csv              # machine-readable
 //
 // Every cell's result is bit-identical to an independent run of the
 // simulation engine with the same options (per-cell seeds are derived
 // substreams of -base-seed, never functions of worker identity), so a
 // grid is reproducible from its flag set alone; -workers changes
-// wall-clock only.
+// wall-clock only, and -cells selects a subset of an EXISTING grid —
+// cell indices and seeds are those of the full grid, so a filtered
+// run's cells match the unfiltered run's bit for bit.
+//
+// Every axis value is validated before any cell runs; an unknown
+// environment, problem, topology, dynamics schedule, mode, or format
+// exits non-zero with a message naming the known values.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dynamics"
 	"repro/internal/env"
 	"repro/internal/problems"
 	"repro/internal/sim"
@@ -34,12 +43,14 @@ func main() {
 	probs := flag.String("problems", "min,max,gcd", "comma-separated problem families (min, max, sum, gcd)")
 	topos := flag.String("topos", "ring,hypercube", "comma-separated topology families (ring, line, complete, star, tree, hypercube, torus)")
 	sizes := flag.String("sizes", "32", "comma-separated system sizes")
+	dyns := flag.String("dynamics", "none", "comma-separated dynamics schedules (none, crashes:RATE:MEANDOWN, partition:PARTS:FROM:TO, partitioncycle:PARTS:H:D, flap:K:FROM:TO, burst:Q:FROM:TO)")
 	modes := flag.String("modes", "component,pairwise", "comma-separated interaction modes (component, pairwise)")
 	seeds := flag.Int("seeds", 4, "seed replicas per combination")
 	baseSeed := flag.Int64("base-seed", 1, "root of every cell's seed substream")
 	maxRounds := flag.Int("maxrounds", 60_000, "per-cell round cap")
 	shards := flag.Int("shards", 0, "per-cell state-shard override (0 = auto)")
 	workers := flag.Int("workers", 0, "sweep worker slots (0 = GOMAXPROCS; results are identical for any value)")
+	cells := flag.String("cells", "", "cell-index filter, e.g. 0-9,42,100-199 (empty = the whole grid)")
 	format := flag.String("format", "markdown", "output format: markdown or csv")
 	out := flag.String("o", "", "write the table to this file instead of stdout")
 	flag.Parse()
@@ -49,13 +60,18 @@ func main() {
 	if *format != "markdown" && *format != "csv" {
 		fail(fmt.Errorf("sweep: unknown format %q (want markdown or csv)", *format))
 	}
-	axes, err := buildAxes(*envs, *probs, *topos, *sizes, *modes, *seeds, *baseSeed, *maxRounds, *shards)
+	axes, err := buildAxes(*envs, *probs, *topos, *sizes, *dyns, *modes, *seeds, *baseSeed, *maxRounds, *shards)
 	if err != nil {
 		fail(err)
 	}
 	grid, err := axes.Grid()
 	if err != nil {
 		fail(err)
+	}
+	if *cells != "" {
+		if grid, err = filterCells(grid, *cells); err != nil {
+			fail(err)
+		}
 	}
 	res, err := sweep.Run(grid, sweep.Options{Workers: *workers})
 	if err != nil {
@@ -85,9 +101,9 @@ func main() {
 		len(res.Cells), converged, res.Elapsed.Round(1e6))
 }
 
-// buildAxes parses every axis flag through the env/problems/sweep
-// registries.
-func buildAxes(envSpec, probSpec, topoSpec, sizeSpec, modeSpec string, seeds int, baseSeed int64, maxRounds, shards int) (sweep.Axes, error) {
+// buildAxes parses every axis flag through the env/problems/dynamics/
+// sweep registries.
+func buildAxes(envSpec, probSpec, topoSpec, sizeSpec, dynSpec, modeSpec string, seeds int, baseSeed int64, maxRounds, shards int) (sweep.Axes, error) {
 	a := sweep.Axes{Seeds: seeds, BaseSeed: baseSeed, MaxRounds: maxRounds, Shards: shards}
 	for _, s := range splitList(envSpec) {
 		d, err := env.ParseDesc(s)
@@ -95,6 +111,13 @@ func buildAxes(envSpec, probSpec, topoSpec, sizeSpec, modeSpec string, seeds int
 			return a, err
 		}
 		a.Envs = append(a.Envs, d)
+	}
+	for _, s := range splitList(dynSpec) {
+		d, err := dynamics.ParseDesc(s)
+		if err != nil {
+			return a, err
+		}
+		a.Dynamics = append(a.Dynamics, d)
 	}
 	for _, s := range splitList(probSpec) {
 		d, err := problems.ParseDesc(s)
@@ -128,6 +151,42 @@ func buildAxes(envSpec, probSpec, topoSpec, sizeSpec, modeSpec string, seeds int
 		}
 	}
 	return a, nil
+}
+
+// filterCells restricts a grid to the cells whose index matches the
+// comma-separated list of indices and inclusive ranges in spec
+// ("0-9,42"). Cells keep their original Index — and therefore their
+// seeds — so a filtered cell's result is bit-identical to the same cell
+// of the unfiltered grid.
+func filterCells(g *sweep.Grid, spec string) (*sweep.Grid, error) {
+	keep := make(map[int]bool)
+	for _, part := range splitList(spec) {
+		lo, hi, ok := strings.Cut(part, "-")
+		if !ok {
+			hi = lo
+		}
+		a, errA := strconv.Atoi(lo)
+		b, errB := strconv.Atoi(hi)
+		if errA != nil || errB != nil || a < 0 || b < a {
+			return nil, fmt.Errorf("sweep: bad -cells entry %q (want INDEX or LO-HI)", part)
+		}
+		for i := a; i <= b; i++ {
+			keep[i] = true
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("sweep: -cells %q selects nothing", spec)
+	}
+	out := &sweep.Grid{}
+	for _, c := range g.Cells {
+		if keep[c.Index] {
+			out.Cells = append(out.Cells, c)
+		}
+	}
+	if len(out.Cells) == 0 {
+		return nil, fmt.Errorf("sweep: -cells %q matches none of the grid's %d cells", spec, len(g.Cells))
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodAxes is a known-valid flag set buildAxes must accept.
+func goodAxes() (string, string, string, string, string, string) {
+	return "churn:0.9,static", "min,gcd", "ring,hypercube", "16,32",
+		"none,partition:2:1:40,crashes:0.02:20,burst:0.5:0:10,flap:2:1:20,partitioncycle:2:5:5",
+		"component,pairwise"
+}
+
+// TestBuildAxesAcceptsKnownValues: the full registry surface round-trips
+// through the CLI parser.
+func TestBuildAxesAcceptsKnownValues(t *testing.T) {
+	envs, probs, topos, sizes, dyns, modes := goodAxes()
+	a, err := buildAxes(envs, probs, topos, sizes, dyns, modes, 2, 1, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Envs) != 2 || len(a.Problems) != 2 || len(a.Topos) != 2 ||
+		len(a.Sizes) != 2 || len(a.Dynamics) != 6 || len(a.Modes) != 2 {
+		t.Fatalf("axes lost values: %+v", a)
+	}
+	grid, err := a.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2 * 2 * 6 * 2 * 2; len(grid.Cells) != want {
+		t.Fatalf("grid has %d cells, want %d", len(grid.Cells), want)
+	}
+}
+
+// TestBuildAxesRejectsUnknownValues is the loud-failure satellite: every
+// axis rejects a bad value with an error that names the offender, so
+// cmd/sweep exits non-zero instead of silently running a wrong grid.
+func TestBuildAxesRejectsUnknownValues(t *testing.T) {
+	envs, probs, topos, sizes, dyns, modes := goodAxes()
+	cases := []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{"bad env", func() error {
+			_, err := buildAxes("chrn:0.9", probs, topos, sizes, dyns, modes, 1, 1, 10, 0)
+			return err
+		}, "chrn"},
+		{"bad env param", func() error {
+			_, err := buildAxes("churn:2.0", probs, topos, sizes, dyns, modes, 1, 1, 10, 0)
+			return err
+		}, "churn:2.0"},
+		{"bad problem", func() error {
+			_, err := buildAxes(envs, "minn", topos, sizes, dyns, modes, 1, 1, 10, 0)
+			return err
+		}, "minn"},
+		{"bad topo", func() error {
+			_, err := buildAxes(envs, probs, "moebius", sizes, dyns, modes, 1, 1, 10, 0)
+			return err
+		}, "moebius"},
+		{"bad size", func() error {
+			_, err := buildAxes(envs, probs, topos, "32,huge", dyns, modes, 1, 1, 10, 0)
+			return err
+		}, "huge"},
+		{"bad dynamics", func() error {
+			_, err := buildAxes(envs, probs, topos, sizes, "meteor:0.5", modes, 1, 1, 10, 0)
+			return err
+		}, "meteor"},
+		{"bad dynamics param", func() error {
+			_, err := buildAxes(envs, probs, topos, sizes, "partition:1:0:10", modes, 1, 1, 10, 0)
+			return err
+		}, "partition:1:0:10"},
+		{"bad mode", func() error {
+			_, err := buildAxes(envs, probs, topos, sizes, dyns, "gossip", 1, 1, 10, 0)
+			return err
+		}, "gossip"},
+	}
+	for _, c := range cases {
+		err := c.call()
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestFilterCells pins the -cells subset flag: indices and ranges
+// select, original indices (and therefore seeds) are preserved, junk is
+// rejected.
+func TestFilterCells(t *testing.T) {
+	envs, probs, topos, _, _, _ := goodAxes()
+	a, err := buildAxes(envs, probs, topos, "16", "none", "component", 2, 7, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := a.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Cells) != 16 {
+		t.Fatalf("full grid has %d cells, want 16", len(grid.Cells))
+	}
+
+	sub, err := filterCells(grid, "0-2,9,14-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, c := range sub.Cells {
+		got = append(got, c.Index)
+	}
+	want := []int{0, 1, 2, 9, 14, 15}
+	if len(got) != len(want) {
+		t.Fatalf("filtered indices %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("filtered indices %v, want %v", got, want)
+		}
+		if sub.Cells[i].Opts.Seed != grid.Cells[want[i]].Opts.Seed {
+			t.Fatalf("cell %d: filtered seed differs from the full grid's", want[i])
+		}
+	}
+
+	for _, bad := range []string{"", "x", "5-2", "-3", "9-", "400"} {
+		if _, err := filterCells(grid, bad); err == nil {
+			t.Errorf("filterCells(%q): expected an error", bad)
+		}
+	}
+}

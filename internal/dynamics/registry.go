@@ -1,0 +1,181 @@
+package dynamics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Desc is a named dynamism-schedule family: a constructor parameterized
+// by the run's graph, plus the display name sweep axes and tables use.
+// It is the dynamics third of the registry contract internal/sweep
+// builds grids on (env.Desc and problems.Desc are the other two) — axes
+// are declared over names ("partition:2:1:40"), not hard-coded Rule
+// compositions. A Desc is a value; New returns a fresh immutable
+// Schedule per call (nil means "no dynamics" — the none family).
+type Desc struct {
+	// Name identifies the family and its parameters in axes and tables.
+	Name string
+	// New builds the family's schedule for the given graph; a nil return
+	// means the cell runs without a dynamics layer.
+	New func(g *graph.Graph) *Schedule
+}
+
+// NoneDesc describes the absence of dynamics — the baseline axis value.
+func NoneDesc() Desc {
+	return Desc{Name: "none", New: func(*graph.Graph) *Schedule { return nil }}
+}
+
+// CrashesDesc describes RandomCrashes(rate, meanDown).
+func CrashesDesc(rate float64, meanDown int) Desc {
+	return Desc{
+		Name: fmt.Sprintf("crashes:%.3g:%d", rate, meanDown),
+		New:  func(*graph.Graph) *Schedule { return NewSchedule(RandomCrashes(rate, meanDown)) },
+	}
+}
+
+// PartitionDesc describes a one-shot Partition(parts, from, to) window.
+func PartitionDesc(parts, from, to int) Desc {
+	return Desc{
+		Name: fmt.Sprintf("partition:%d:%d:%d", parts, from, to),
+		New:  func(*graph.Graph) *Schedule { return NewSchedule(Partition(parts, from, to)) },
+	}
+}
+
+// PartitionCycleDesc describes a repeating PartitionCycle(parts,
+// healthy, down).
+func PartitionCycleDesc(parts, healthy, down int) Desc {
+	return Desc{
+		Name: fmt.Sprintf("partitioncycle:%d:%d:%d", parts, healthy, down),
+		New:  func(*graph.Graph) *Schedule { return NewSchedule(PartitionCycle(parts, healthy, down)) },
+	}
+}
+
+// FlapDesc describes a deterministic crash window: k random agents crash
+// at round from and every crashed agent recovers at round to.
+func FlapDesc(k, from, to int) Desc {
+	if to <= from {
+		panic(fmt.Sprintf("dynamics.FlapDesc: empty window [%d, %d)", from, to))
+	}
+	return Desc{
+		Name: fmt.Sprintf("flap:%d:%d:%d", k, from, to),
+		New: func(*graph.Graph) *Schedule {
+			return NewSchedule(At(from, CrashRandom(k)), At(to, RecoverAll()))
+		},
+	}
+}
+
+// BurstDesc describes a Burst(q, from, to) churn-override window.
+func BurstDesc(q float64, from, to int) Desc {
+	return Desc{
+		Name: fmt.Sprintf("burst:%.3g:%d:%d", q, from, to),
+		New:  func(*graph.Graph) *Schedule { return NewSchedule(Burst(q, from, to)) },
+	}
+}
+
+// ParseDesc resolves a registry spec of the form "family[:param…]" to a
+// Desc:
+//
+//	none                        no dynamics (the baseline)
+//	crashes:RATE:MEANDOWN       RandomCrashes — rate in (0,1), meanDown ≥ 1
+//	partition:PARTS:FROM:TO     one partition window over [FROM, TO)
+//	partitioncycle:PARTS:H:D    repeating H healthy / D partitioned rounds
+//	flap:K:FROM:TO              K random agents crash at FROM, all wake at TO
+//	burst:Q:FROM:TO             extra per-edge drop probability Q over [FROM, TO)
+//
+// It is the CLI-facing half of the registry: cmd/sweep's -dynamics axis
+// names its schedules with these specs. Parameters the Rule constructors
+// would reject are reported as errors here (the CLI must not panic).
+func ParseDesc(spec string) (Desc, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	bad := func(format string, args ...any) (Desc, error) {
+		return Desc{}, fmt.Errorf("dynamics: bad spec %q: "+format, append([]any{spec}, args...)...)
+	}
+	ints := func(raw []string) ([]int, error) {
+		out := make([]int, len(raw))
+		for i, s := range raw {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("parameter %q is not an integer", s)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch parts[0] {
+	case "none":
+		if len(parts) != 1 {
+			return bad("none takes no parameters")
+		}
+		return NoneDesc(), nil
+	case "crashes":
+		if len(parts) != 3 {
+			return bad("want crashes:RATE:MEANDOWN")
+		}
+		rate, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || !(rate > 0 && rate < 1) {
+			return bad("rate %q must be a number in (0, 1)", parts[1])
+		}
+		meanDown, err := strconv.Atoi(parts[2])
+		if err != nil || meanDown < 1 {
+			return bad("mean downtime %q must be a positive integer", parts[2])
+		}
+		return CrashesDesc(rate, meanDown), nil
+	case "partition", "partitioncycle":
+		if len(parts) != 4 {
+			return bad("want %s:PARTS:A:B", parts[0])
+		}
+		v, err := ints(parts[1:])
+		if err != nil {
+			return bad("%v", err)
+		}
+		if v[0] < 2 {
+			return bad("need at least 2 parts, got %d", v[0])
+		}
+		if parts[0] == "partition" {
+			if v[1] < 0 || v[2] <= v[1] {
+				return bad("empty or negative window [%d, %d)", v[1], v[2])
+			}
+			return PartitionDesc(v[0], v[1], v[2]), nil
+		}
+		if v[1] < 1 || v[2] < 1 {
+			return bad("phase lengths must be positive, got healthy=%d down=%d", v[1], v[2])
+		}
+		return PartitionCycleDesc(v[0], v[1], v[2]), nil
+	case "flap":
+		if len(parts) != 4 {
+			return bad("want flap:K:FROM:TO")
+		}
+		v, err := ints(parts[1:])
+		if err != nil {
+			return bad("%v", err)
+		}
+		if v[0] < 1 {
+			return bad("need at least 1 agent, got %d", v[0])
+		}
+		if v[1] < 0 || v[2] <= v[1] {
+			return bad("empty or negative window [%d, %d)", v[1], v[2])
+		}
+		return FlapDesc(v[0], v[1], v[2]), nil
+	case "burst":
+		if len(parts) != 4 {
+			return bad("want burst:Q:FROM:TO")
+		}
+		q, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || !(q > 0 && q <= 1) {
+			return bad("drop probability %q must be a number in (0, 1]", parts[1])
+		}
+		v, err := ints(parts[2:])
+		if err != nil {
+			return bad("%v", err)
+		}
+		if v[0] < 0 || v[1] <= v[0] {
+			return bad("empty or negative window [%d, %d)", v[0], v[1])
+		}
+		return BurstDesc(q, v[0], v[1]), nil
+	default:
+		return bad("unknown family (know none, crashes, partition, partitioncycle, flap, burst)")
+	}
+}

@@ -134,6 +134,22 @@ func (m *Monitor[T]) ObserveQuiescence(final ms.Multiset[T]) {
 	}
 }
 
+// CheckFrozen verifies the dynamics layer's frozen-state contract: a
+// crashed agent "executes no actions and does not change state", so for
+// every agent in frozen (ids into the positional state array) the
+// current state must equal the state recorded when the agent crashed
+// (want, indexed by agent id). Any drift is an engine bug — a group or
+// matching that included a supposedly excluded agent — and is recorded
+// as a monitor violation like any conservation failure.
+func (m *Monitor[T]) CheckFrozen(round int, cmp func(a, b T) int, frozen []int, want, states []T) {
+	for _, a := range frozen {
+		if cmp(want[a], states[a]) != 0 {
+			m.violations = append(m.violations,
+				fmt.Sprintf("round %d: frozen agent %d changed state while crashed", round, a))
+		}
+	}
+}
+
 // VerifyStep decides whether before → after is a step of the relation D
 // under the monitor's f, h, equality, and slack — proof obligation
 // "R implements D" as a runtime check.

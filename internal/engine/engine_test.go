@@ -122,6 +122,24 @@ func TestMonitorQuiescence(t *testing.T) {
 	}
 }
 
+func TestMonitorCheckFrozen(t *testing.T) {
+	p := problems.NewMin()
+	m := NewMonitor[int](p, ms.OfInts(3, 1, 2), 0)
+	cmp := func(a, b int) int { return a - b }
+	want := []int{3, 1, 2}
+	// Frozen agents whose states are untouched: clean.
+	m.CheckFrozen(4, cmp, []int{0, 2}, want, []int{3, 9, 2})
+	if len(m.Violations()) != 0 {
+		t.Fatalf("intact frozen states flagged: %v", m.Violations())
+	}
+	// A frozen agent whose state drifted: violation naming agent & round.
+	m.CheckFrozen(5, cmp, []int{0, 2}, want, []int{3, 9, 7})
+	v := m.Violations()
+	if len(v) != 1 || !strings.Contains(v[0], "round 5: frozen agent 2") {
+		t.Fatalf("violations = %v, want one naming round 5 / agent 2", v)
+	}
+}
+
 func TestMonitorVerifyStep(t *testing.T) {
 	p := problems.NewMin()
 	m := NewMonitor[int](p, ms.OfInts(3, 1, 2), 0)

@@ -1,10 +1,11 @@
-// Package experiments implements the reproduction experiments E1–E16
+// Package experiments implements the reproduction experiments E1–E17
 // catalogued in DESIGN.md: Figures 1–3 of the paper as executable
 // artifacts, measurable versions of every quantitative claim the paper
-// makes in prose, the large-N scaling study (E15), and the scenario
-// matrix on the batched sweep runner (E16). cmd/experiments renders the
-// results into EXPERIMENTS.md; bench_test.go at the repository root
-// exposes each as a benchmark.
+// makes in prose, the large-N scaling study (E15), the scenario matrix
+// on the batched sweep runner (E16), and the fault-and-dynamism matrix
+// over scripted crash/partition/burst schedules (E17). cmd/experiments
+// renders the results into the report; bench_test.go at the repository
+// root exposes each as a benchmark.
 package experiments
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dynamics"
 	"repro/internal/dynsys"
 	"repro/internal/engine"
 	"repro/internal/env"
@@ -67,7 +69,7 @@ func All(cfg Config) []Section {
 		E5Partition(cfg), E6Scale(cfg), E7Sum(cfg), E8Sort(cfg),
 		E9Classification(cfg), E10ModelCheck(cfg), E11Ablation(cfg),
 		E12Fairness(cfg), E13Continuous(cfg), E14EscapePostulate(cfg),
-		E15Scaling(cfg), E16ScenarioMatrix(cfg),
+		E15Scaling(cfg), E16ScenarioMatrix(cfg), E17Dynamics(cfg),
 	}
 }
 
@@ -1319,6 +1321,148 @@ func E16ScenarioMatrix(cfg Config) Section {
 		ID:    "E16",
 		Title: "Scenario matrix — the full grid on the batched sweep runner",
 		Claim: "§1: \"algorithms speed up or slow down depending on the resources available\" — uniformly, over every (environment × problem × topology × mode) combination.",
+		Body:  b.String(), ShapeHolds: shape,
+	}
+}
+
+// --- E17: the fault-and-dynamism matrix ---
+
+// E17Dynamics runs a scenario matrix whose third axis is a scripted
+// fault schedule (internal/dynamics): agent crashes that freeze state
+// and gate convergence until recovery, partition windows whose heal
+// round makes rounds-to-reconverge measurable, and churn bursts — the
+// dynamism the paper is actually ABOUT, turned into ≥300 machine-checked
+// grid cells. Three properties are asserted pointwise over the whole
+// matrix:
+//
+//   - zero monitor violations anywhere — the conservation law f(S) = S*
+//     and the variant descent hold through every crash, partition, and
+//     burst, and the frozen-state check certifies that crashed agents
+//     never moved;
+//   - reconvergence after every heal — every cell that experienced a
+//     partition heal converges, and the (convergence − heal) gap is the
+//     reconvergence cost the table reports;
+//   - determinism — every cell is bit-identical to an independent
+//     sim.Run and to every worker/shard count (the sweep dynamics
+//     determinism tests pin this), so the matrix reproduces from its
+//     declaration alone.
+func E17Dynamics(cfg Config) Section {
+	var b strings.Builder
+	n := 32
+	if cfg.Quick {
+		n = 16
+	}
+	// Seeds is fixed at 4 (not cfg.Seeds): the matrix's breadth comes
+	// from the dynamics axis, and 480 cells at n = 32 keep the full run
+	// CI-friendly while clearing the ≥300-dynamics-cell bar.
+	const seeds = 4
+	axes := sweep.Axes{
+		Envs:     []env.Desc{env.ChurnDesc(0.9), env.StaticDesc()},
+		Problems: []problems.Desc{problems.MinDesc(), problems.MaxDesc(), problems.GCDDesc()},
+		Topos:    []sweep.Topo{sweep.RingTopo(), sweep.HypercubeTopo()},
+		Sizes:    []int{n},
+		Dynamics: []dynamics.Desc{
+			dynamics.NoneDesc(),
+			dynamics.CrashesDesc(0.02, 15),
+			dynamics.PartitionDesc(2, 0, 40),
+			dynamics.FlapDesc(3, 0, 30),
+			dynamics.BurstDesc(0.6, 0, 25),
+		},
+		Modes:     []sim.Mode{sim.ComponentMode, sim.PairwiseMode},
+		Seeds:     seeds,
+		BaseSeed:  17,
+		MaxRounds: 60_000,
+	}
+	grid, err := axes.Grid()
+	if err != nil {
+		return Section{ID: "E17", Title: "dynamics matrix", Body: "error: " + err.Error()}
+	}
+	res, err := sweep.Run(grid, sweep.Options{})
+	if err != nil {
+		return Section{ID: "E17", Title: "dynamics matrix", Body: "error: " + err.Error()}
+	}
+
+	shape := true
+	dynCells, healCells, crashes, recoveries := 0, 0, 0, 0
+	type key struct{ dyn, p, mode string }
+	rows := map[key]*metrics.Sample{}
+	reconv := map[key]*metrics.Sample{}
+	conv := map[key]int{}
+	cellsPer := map[key]int{}
+	var order []key
+	for _, c := range res.Cells {
+		k := key{c.Cell.Dyn.Name, c.Cell.Problem.Name, c.Cell.Mode.String()}
+		if rows[k] == nil {
+			rows[k] = &metrics.Sample{}
+			reconv[k] = &metrics.Sample{}
+			order = append(order, k)
+		}
+		rows[k].AddInt(c.Round)
+		cellsPer[k]++
+		if c.Converged {
+			conv[k]++
+		}
+		// The two pointwise correctness criteria: zero violations (the
+		// conservation law, the variant descent, AND the frozen-state
+		// check all feed Violations) and convergence through the faults.
+		if !c.Converged || c.Violations != 0 {
+			shape = false
+		}
+		if c.Cell.Dyn.Name != "none" {
+			dynCells++
+			if c.Dyn == nil {
+				shape = false
+				continue
+			}
+			crashes += c.Dyn.Crashes
+			recoveries += c.Dyn.Recoveries
+			if c.Dyn.Heals > 0 {
+				healCells++
+				// Reconvergence after the heal: the run converged (checked
+				// above) strictly after the last heal took effect — a heal
+				// is only recorded while the run is still going.
+				gap := c.Round - c.Dyn.LastHealRound
+				if gap <= 0 {
+					shape = false
+				}
+				reconv[k].AddInt(gap)
+			}
+		}
+	}
+	if dynCells < 300 {
+		shape = false // the acceptance bar: ≥300 genuine dynamics cells
+	}
+
+	t := metrics.NewTable("dynamics", "problem", "mode", "median rounds",
+		"median reconverge", "converged")
+	for _, k := range order {
+		rc := "—"
+		if reconv[k].N() > 0 {
+			rc = fmt.Sprint(reconv[k].Median())
+		}
+		t.AddRowf(k.dyn, k.p, k.mode, rows[k].Median(), rc,
+			fmt.Sprintf("%d/%d", conv[k], cellsPer[k]))
+	}
+	b.WriteString(fmt.Sprintf("Fault matrix: %d environments × %d problems × %d topologies × %d dynamics\n"+
+		"schedules × %d modes × %d seeds = %d cells (N = %d, %d with live dynamics),\n"+
+		"one process, warm sweep workers. %d agent crashes and %d recoveries were\n"+
+		"injected across the matrix; %d cells crossed a partition heal:\n\n",
+		len(axes.Envs), len(axes.Problems), len(axes.Topos), len(axes.Dynamics),
+		len(axes.Modes), seeds, len(grid.Cells), n, dynCells, crashes, recoveries, healCells))
+	b.WriteString(t.String())
+	b.WriteString("\nEvery cell converged with zero monitor violations — including the\n" +
+		"frozen-state check certifying that crashed agents never changed state\n" +
+		"while down — and every cell that lived through a partition heal\n" +
+		"reconverged after it (median reconvergence gaps above). Crash cells\n" +
+		"are gated exactly as the theory predicts: a frozen agent's value is\n" +
+		"unreachable until it wakes, so \"median rounds\" tracks the injected\n" +
+		"downtime, not the algorithm. Rerun any cell independently with\n" +
+		"cmd/sweep's -dynamics and -cells flags; results are bit-identical by\n" +
+		"the seed-substream contract.\n")
+	return Section{
+		ID:    "E17",
+		Title: "Dynamics matrix — scripted crash/recover, partition/heal, and burst schedules",
+		Claim: "§1/§2: computations remain correct while agents come and go and the interaction graph shifts — conservation and descent hold through faults, and convergence resumes when the environment allows.",
 		Body:  b.String(), ShapeHolds: shape,
 	}
 }

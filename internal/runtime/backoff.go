@@ -108,3 +108,32 @@ func (b *aimdBackoff) onSuccess() {
 		b.window -= minBackoff
 	}
 }
+
+// fixedLadderCeiling is the legacy controller's constant maximum window —
+// the value the AIMD controller's adaptive ceiling replaced.
+const fixedLadderCeiling = 512 * time.Microsecond
+
+// fixedLadder is the pre-AIMD backoff policy, retained verbatim as the
+// baseline for the backoff field-validation study
+// (Options.FixedBackoff, EXPERIMENTS.md appendix): double the window
+// from minBackoff up to a constant 512µs ceiling on every rejection,
+// reset it to zero on any completed exchange. Its two weaknesses are
+// exactly what the study measures — the constant ceiling was tuned for
+// ring-degree contention and saturates far too low on high-degree
+// graphs, and the reset-to-zero forgets a hot neighbourhood after a
+// single success and immediately re-collides.
+type fixedLadder struct{ window time.Duration }
+
+func (l *fixedLadder) onRejected() time.Duration {
+	if l.window < minBackoff {
+		l.window = minBackoff
+	} else {
+		l.window *= 2
+	}
+	if l.window > fixedLadderCeiling {
+		l.window = fixedLadderCeiling
+	}
+	return l.window
+}
+
+func (l *fixedLadder) onSuccess() { l.window = 0 }

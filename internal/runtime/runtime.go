@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dynamics"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	ms "repro/internal/multiset"
@@ -77,6 +78,21 @@ type Options struct {
 	MaxOps int
 	// Timeout bounds wall-clock time (default 10s).
 	Timeout time.Duration
+	// Faults, when non-nil, injects message loss and delivery delay at
+	// the exchange layer (see dynamics.Faults): a request whose link is
+	// up may still be lost in transit with probability LossP (the
+	// initiation is spent, counted in Result.Lost), and surviving
+	// requests wait a uniform (0, DelayMax] before delivery, the
+	// initiator serving its inbox meanwhile. nil injects nothing and is
+	// bit-identical to the pre-fault runtime (the GOMAXPROCS(1) golden
+	// pins it).
+	Faults *dynamics.Faults
+	// FixedBackoff replaces the adaptive AIMD busy-backoff controller
+	// with the legacy fixed doubling ladder (512µs ceiling, reset to
+	// zero on success). Scheduling policy only — results are unaffected;
+	// retained as the baseline the backoff field-validation benchmarks
+	// compare the AIMD controller against (EXPERIMENTS.md appendix).
+	FixedBackoff bool
 }
 
 // Result reports an asynchronous run.
@@ -105,6 +121,9 @@ type Result[T any] struct {
 	// the adaptive AIMD backoff feeds on (Rejections ≤ Ops −
 	// ProperSteps; high values mean the run spent real time in backoff).
 	Rejections int
+	// Lost counts initiated exchanges whose request was dropped in
+	// transit by the fault layer (0 when Options.Faults is nil).
+	Lost int
 }
 
 type request[T any] struct {
@@ -162,6 +181,11 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	}
 	if opts.LinkUpProbability <= 0 {
 		opts.LinkUpProbability = 1
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
 	}
 
 	cmp := p.Cmp()
@@ -247,6 +271,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 
 	finals := make([]T, n)
 	rejections := make([]int, n)
+	lost := make([]int, n)
 	var wg sync.WaitGroup
 	for a := 0; a < n; a++ {
 		wg.Add(1)
@@ -269,7 +294,11 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 			defer backoffTimer.Stop()
 			// Per-agent adaptive backoff: the window derives from this
 			// agent's own observed rejection rate (see backoff.go).
+			// Options.FixedBackoff swaps in the legacy fixed ladder — the
+			// baseline the field-validation benchmarks compare against.
 			var backoff aimdBackoff
+			var ladder fixedLadder
+			useFixed := opts.FixedBackoff
 
 			serve := func(req request[T]) {
 				na, nb := p.PairStep(req.state, my, rng)
@@ -323,6 +352,34 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				if !links.isUp(pick.edge) {
 					continue
 				}
+				if f := opts.Faults; f != nil {
+					// Exchange-layer fault injection, on the agent's own
+					// stream. Loss: the request vanishes in transit — the
+					// initiation is spent, no exchange happens, the
+					// initiator moves on as if the link had dropped.
+					if f.LossP > 0 && rng.Float64() < f.LossP {
+						lost[a]++
+						continue
+					}
+					// Delay: the request is in flight for a while before
+					// delivery; the agent stays receptive meanwhile (a
+					// delayed sender that refused service could deadlock
+					// against its own partner).
+					if f.DelayMax > 0 {
+						backoffTimer.Reset(time.Duration(1 + rng.Int63n(int64(f.DelayMax))))
+					delaying:
+						for {
+							select {
+							case <-ctx.Done():
+								return
+							case req := <-inbox:
+								serve(req)
+							case <-backoffTimer.C:
+								break delaying
+							}
+						}
+					}
+				}
 				select {
 				case inboxes[pick.agent] <- request[T]{state: my, reply: replyCh}:
 				case <-ctx.Done():
@@ -341,7 +398,11 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 						if r.busy {
 							rejected = true
 						} else {
-							backoff.onSuccess()
+							if useFixed {
+								ladder.onSuccess()
+							} else {
+								backoff.onSuccess()
+							}
 							my = r.state
 							post(a, my)
 							if cmp(before, my) != 0 {
@@ -361,7 +422,12 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 					// derives from the observed rejection rate (see the
 					// protocol notes in the package comment and backoff.go).
 					rejections[a]++
-					window := backoff.onRejected()
+					var window time.Duration
+					if useFixed {
+						window = ladder.onRejected()
+					} else {
+						window = backoff.onRejected()
+					}
 					backoffTimer.Reset(time.Duration(1 + rng.Int63n(int64(window))))
 				backingOff:
 					for {
@@ -414,6 +480,9 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	res.QuiescenceChecks = checks
 	for _, r := range rejections {
 		res.Rejections += r
+	}
+	for _, l := range lost {
+		res.Lost += l
 	}
 	finalM := ms.New(cmp, finals...)
 	res.Converged = conv.Observe(res.Ops, finalM)

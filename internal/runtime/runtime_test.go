@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dynamics"
 	"repro/internal/graph"
 	ms "repro/internal/multiset"
 	"repro/internal/problems"
@@ -398,5 +399,68 @@ func TestAsyncGoldenSingleThreaded(t *testing.T) {
 			t.Errorf("seed %d: QuiescenceChecks = %d exceeds adoption bound %d",
 				seed, res.QuiescenceChecks, limit)
 		}
+	}
+}
+
+// TestAsyncFaultsConverge: message loss and delivery delay at the
+// exchange layer must never threaten correctness — a lost request
+// changes no state and a delayed one executes the same atomic PairStep
+// later — so min under heavy injected loss still converges with zero
+// quiescence violations, just more slowly.
+func TestAsyncFaultsConverge(t *testing.T) {
+	g := graph.Complete(12)
+	vals := make([]int, 12)
+	for i := range vals {
+		vals[i] = 40 - 3*i
+	}
+	o := opts()
+	o.Faults = &dynamics.Faults{LossP: 0.4, DelayMax: 50 * time.Microsecond}
+	res, err := Run[int](problems.NewMin(), g, vals, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge under 40%% loss: %v", res.Final)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations under faults: %v", res.Violations)
+	}
+	if res.Lost == 0 {
+		t.Error("LossP=0.4 run recorded zero lost requests")
+	}
+	if res.Lost > res.Ops {
+		t.Errorf("Lost = %d exceeds Ops = %d", res.Lost, res.Ops)
+	}
+}
+
+// TestAsyncFaultsValidation: malformed fault specs fail the run before
+// any agent starts.
+func TestAsyncFaultsValidation(t *testing.T) {
+	g := graph.Ring(4)
+	vals := []int{3, 1, 2, 4}
+	for _, f := range []dynamics.Faults{{LossP: 1}, {LossP: -0.5}, {DelayMax: -time.Second}} {
+		f := f
+		o := opts()
+		o.Faults = &f
+		if _, err := Run[int](problems.NewMin(), g, vals, o); err == nil {
+			t.Errorf("Faults%+v: expected an error", f)
+		}
+	}
+}
+
+// TestAsyncFixedBackoffStillConverges: the legacy ladder is scheduling
+// policy only — results are unaffected; it exists as the baseline for
+// the backoff field-validation benchmarks.
+func TestAsyncFixedBackoffStillConverges(t *testing.T) {
+	g := graph.Complete(8)
+	vals := []int{9, 4, 7, 1, 8, 2, 6, 5}
+	o := opts()
+	o.FixedBackoff = true
+	res, err := Run[int](problems.NewMin(), g, vals, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || len(res.Violations) != 0 {
+		t.Fatalf("fixed-ladder run failed: converged=%v violations=%v", res.Converged, res.Violations)
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"slices"
 
 	"repro/internal/core"
+	"repro/internal/dynamics"
 	"repro/internal/engine"
 	"repro/internal/env"
 	"repro/internal/graph"
@@ -166,6 +167,20 @@ type Options struct {
 	// progress — used by examples and the experiment harness to trace
 	// runs without retaining full traces.
 	OnRound func(RoundInfo)
+	// Dynamics, when non-nil, applies a scripted fault-and-dynamism
+	// schedule on top of the environment: agent crash/recover (a crashed
+	// agent's state is frozen and it is excluded from groups and
+	// matchings), partition/heal windows, and churn bursts — see
+	// internal/dynamics. The schedule's masks are overlaid between the
+	// environment step and group formation each round (the FairnessProbe
+	// observes the EFFECTIVE masks), its randomness comes from
+	// engine.SubSeed substreams of (Seed, round) — never from the master
+	// stream — so results are bit-identical for every Shards, MatchBlocks,
+	// ParallelThreshold, and GOMAXPROCS, and the frozen-state conservation
+	// contract is checked by the monitor every round. nil (and an empty
+	// schedule) leave the engine bit-identical to the pre-dynamics
+	// goldens.
+	Dynamics *dynamics.Schedule
 	// AdversaryFeedback, when the environment is an *env.Adversary, wires
 	// the adversary's usefulness oracle to live agent state: an edge is
 	// "useful" (and therefore cut first) exactly when its endpoints
@@ -217,8 +232,14 @@ type Result[T any] struct {
 	// Target is f(S(0)).
 	Target ms.Multiset[T]
 	// Probe reports the empirical fairness of the environment over the
-	// run — whether assumption (2) actually held.
+	// run — whether assumption (2) actually held. With Options.Dynamics
+	// set it measures the EFFECTIVE masks (environment composed with the
+	// dynamics overlay) — what the agents actually experienced.
 	Probe *env.FairnessProbe
+	// Dynamics reports what the dynamics schedule did (nil when
+	// Options.Dynamics was nil): crash/recover counts, heal rounds for
+	// reconvergence metrics, masked-edge totals.
+	Dynamics *dynamics.Report
 }
 
 // runner holds the engine state of a run: the shared engine-core pieces
@@ -266,6 +287,13 @@ type runner[T any] struct {
 	// Proper-step detection scratch (sorted copies of a group's before and
 	// after states, compared as zero-copy multiset views).
 	sortA, sortB []T
+
+	// Dynamics state (nil applier when Options.Dynamics is nil): the
+	// schedule applier plus the crash-time snapshot of every frozen
+	// agent's state, which the monitor's frozen-state check compares
+	// against each round.
+	dyn        *dynamics.Applier
+	frozenVals []T
 }
 
 // matcherKey identifies a cached PairMatcher: the matching it draws is a
@@ -301,6 +329,7 @@ type Scratch[T any] struct {
 	tracker  *ms.Tracker[T]
 	shards   *engine.Shards[T]
 	matchers map[matcherKey]*engine.PairMatcher
+	dyn      *dynamics.Applier
 }
 
 // NewScratch builds an empty Scratch over the given RunContext. The
@@ -413,6 +442,22 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			j.newA, j.newB = r.p.PairStep(j.oldA, j.oldB, r.rc.WorkerRand(worker, j.seed))
 		}
 	}
+	r.dyn = nil
+	if opts.Dynamics != nil {
+		if sc.dyn == nil {
+			sc.dyn = opts.Dynamics.NewApplier(g, opts.Seed)
+		} else {
+			sc.dyn.Reset(opts.Dynamics, g, opts.Seed)
+		}
+		r.dyn = sc.dyn
+		// Crash-time state snapshots, indexed by agent; only the entries
+		// of currently frozen agents are meaningful.
+		if cap(r.frozenVals) < g.N() {
+			r.frozenVals = make([]T, g.N())
+		}
+		r.frozenVals = r.frozenVals[:g.N()]
+	}
+
 	r.matcher = nil
 	if opts.Mode == PairwiseMode {
 		key := matcherKey{g, resolveMatchBlocks(opts.MatchBlocks, g.N())}
@@ -456,8 +501,19 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 		if res.Converged && opts.StopOnConverged {
 			break
 		}
-		// Environment transition.
+		// Environment transition, then the dynamics overlay: the schedule
+		// fires this round's events and masks its cut edges and crashed
+		// agents on top of whatever the environment produced (writing
+		// false to exactly the suppressed up-entries; EndRound below
+		// undoes exactly those writes before the environment's next
+		// Step). The probe therefore observes the effective masks.
 		es := e.Step(round, rng)
+		if r.dyn != nil {
+			es = r.dyn.BeginRound(round, es)
+			for _, a := range r.dyn.JustCrashed() {
+				r.frozenVals[a] = r.states[a]
+			}
+		}
 		res.Probe.Observe(es)
 
 		// Agents transition: groups step concurrently.
@@ -488,6 +544,14 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			res.HTrace = append(res.HTrace, nowH)
 		}
 
+		if r.dyn != nil {
+			// Frozen-state conservation: a crashed agent was excluded from
+			// every group and matching this round, so its state must still
+			// equal its crash-time snapshot.
+			r.mon.CheckFrozen(round, r.cmp, r.dyn.Frozen(), r.frozenVals, r.states)
+			r.dyn.EndRound()
+		}
+
 		if r.conv.Observe(round+1, now) {
 			res.Converged = true
 			res.Round = round + 1
@@ -509,6 +573,10 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 	// single-use path always paid for its initial-state copy).
 	res.Final = append(make([]T, 0, len(r.states)), r.states...)
 	res.Violations = r.mon.Violations()
+	if r.dyn != nil {
+		rep := r.dyn.Report()
+		res.Dynamics = &rep
+	}
 	return res, nil
 }
 

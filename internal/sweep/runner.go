@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/dynamics"
 	"repro/internal/engine"
 	"repro/internal/sim"
 )
@@ -26,6 +27,11 @@ type CellResult struct {
 	// Final holds the final agent states when Options.KeepFinal asked
 	// for them (nil otherwise — grids can dwarf memory at scale).
 	Final []int
+	// Dyn reports what the cell's dynamics schedule did (nil when the
+	// cell ran without dynamics): crash/recover counts and the heal
+	// rounds the reconvergence metrics are computed from. Deterministic
+	// like every other field — a pure function of the cell.
+	Dyn *dynamics.Report
 	// Duration is wall-clock time for the cell — the one field that is
 	// machine- and scheduling-dependent, which is why the Table excludes
 	// it.
@@ -84,6 +90,7 @@ func (w *Worker) Do(c Cell) (CellResult, error) {
 		Messages:   res.Messages,
 		Violations: len(res.Violations),
 		Duration:   time.Since(start),
+		Dyn:        res.Dynamics,
 	}
 	if w.KeepFinal {
 		cr.Final = res.Final

@@ -1,6 +1,6 @@
 // Package sweep is the batched scenario-grid runner: it executes every
-// cell of a declarative (environment × problem × topology × size × mode
-// × seed) grid in one process, on warm engines.
+// cell of a declarative (environment × problem × topology × size ×
+// dynamics × mode × seed) grid in one process, on warm engines.
 //
 // The paper's self-similar framing is what makes this a single subsystem
 // rather than a script: every combination of environment, problem,
@@ -44,6 +44,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/dynamics"
 	"repro/internal/engine"
 	"repro/internal/env"
 	"repro/internal/graph"
@@ -110,9 +111,10 @@ func ParseTopo(name string) (Topo, error) {
 }
 
 // Axes declares a scenario grid: the cartesian product of the listed
-// environments, problems, topologies, sizes, and modes, replicated over
-// Seeds independent seed substreams. Expansion (Axes.Grid) is pure — the
-// same Axes always yield the same cells with the same derived seeds.
+// environments, problems, topologies, sizes, dynamics schedules, and
+// modes, replicated over Seeds independent seed substreams. Expansion
+// (Axes.Grid) is pure — the same Axes always yield the same cells with
+// the same derived seeds.
 type Axes struct {
 	// Envs, Problems, Topos, Sizes are the product axes; each must be
 	// non-empty.
@@ -120,6 +122,10 @@ type Axes struct {
 	Problems []problems.Desc
 	Topos    []Topo
 	Sizes    []int
+	// Dynamics is the fault-schedule axis (see dynamics.Desc); empty
+	// defaults to {dynamics.NoneDesc()} — no dynamics, the pre-axis grid
+	// shape (cell indices, and therefore per-cell seeds, are unchanged).
+	Dynamics []dynamics.Desc
 	// Modes defaults to {sim.ComponentMode} when empty.
 	Modes []sim.Mode
 	// Seeds is the number of seed replicas per combination (default 1).
@@ -146,6 +152,10 @@ type Cell struct {
 	// (shared between cells of the same family and size).
 	Topo  string
 	Graph *graph.Graph
+	// Dyn is the dynamics-schedule descriptor of the cell's fault axis
+	// (zero value and the none family both mean no dynamics); the built
+	// schedule itself rides in Opts.Dynamics.
+	Dyn dynamics.Desc
 	// Mode is the interaction granularity.
 	Mode sim.Mode
 	// Replica is the cell's index along the seed axis.
@@ -160,7 +170,8 @@ type Cell struct {
 }
 
 // Grid is an expanded scenario grid: the cell list in deterministic
-// expansion order (environments outermost, seed replicas innermost).
+// expansion order (environments outermost, then problems, topologies,
+// sizes, dynamics, modes, seed replicas innermost).
 type Grid struct {
 	Cells []Cell
 }
@@ -189,6 +200,15 @@ func (a Axes) Grid() (*Grid, error) {
 	if len(modes) == 0 {
 		modes = []sim.Mode{sim.ComponentMode}
 	}
+	dyns := a.Dynamics
+	if len(dyns) == 0 {
+		dyns = []dynamics.Desc{dynamics.NoneDesc()}
+	}
+	for _, d := range dyns {
+		if d.New == nil {
+			return nil, fmt.Errorf("sweep: dynamics descriptor %q has no constructor", d.Name)
+		}
+	}
 	seeds := a.Seeds
 	if seeds <= 0 {
 		seeds = 1
@@ -209,28 +229,38 @@ func (a Axes) Grid() (*Grid, error) {
 					if graphs[k] == nil {
 						graphs[k] = topo.New(n)
 					}
-					for _, mode := range modes {
-						for rep := 0; rep < seeds; rep++ {
-							g.Cells = append(g.Cells, Cell{
-								Index:    idx,
-								Env:      e,
-								Problem:  p,
-								Topo:     topo.Name,
-								Graph:    graphs[k],
-								Mode:     mode,
-								Replica:  rep,
-								InitSeed: engine.SubSeed(a.BaseSeed, 2*idx+1),
-								Opts: sim.Options{
-									Seed:              engine.SubSeed(a.BaseSeed, 2*idx),
-									Mode:              mode,
-									MaxRounds:         a.MaxRounds,
-									StopOnConverged:   true,
-									Shards:            a.Shards,
-									MatchBlocks:       a.MatchBlocks,
-									ParallelThreshold: a.ParallelThreshold,
-								},
-							})
-							idx++
+					for _, dyn := range dyns {
+						// One immutable schedule per (dynamics, graph) — all
+						// per-run state lives in the engine's applier, so the
+						// mode/seed cells of a combination share it; built
+						// against the cell's actual graph so partition cuts
+						// and agent ids resolve correctly.
+						sched := dyn.New(graphs[k])
+						for _, mode := range modes {
+							for rep := 0; rep < seeds; rep++ {
+								g.Cells = append(g.Cells, Cell{
+									Index:    idx,
+									Env:      e,
+									Problem:  p,
+									Topo:     topo.Name,
+									Graph:    graphs[k],
+									Dyn:      dyn,
+									Mode:     mode,
+									Replica:  rep,
+									InitSeed: engine.SubSeed(a.BaseSeed, 2*idx+1),
+									Opts: sim.Options{
+										Seed:              engine.SubSeed(a.BaseSeed, 2*idx),
+										Mode:              mode,
+										MaxRounds:         a.MaxRounds,
+										StopOnConverged:   true,
+										Shards:            a.Shards,
+										MatchBlocks:       a.MatchBlocks,
+										ParallelThreshold: a.ParallelThreshold,
+										Dynamics:          sched,
+									},
+								})
+								idx++
+							}
 						}
 					}
 				}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/dynamics"
 	"repro/internal/engine"
 	"repro/internal/env"
 	"repro/internal/problems"
@@ -305,5 +306,129 @@ func TestParseTopo(t *testing.T) {
 	torus, _ := ParseTopo("torus")
 	if g := torus.New(100); g.N() != 100 {
 		t.Errorf("torus(100) has %d agents, want 100", g.N())
+	}
+}
+
+// dynamicsAxes is the fault-schedule grid the dynamics determinism and
+// axis tests share: every registry family crossed with two problems and
+// both interaction modes.
+func dynamicsAxes() Axes {
+	return Axes{
+		Envs:     []env.Desc{env.ChurnDesc(0.9)},
+		Problems: []problems.Desc{problems.MinDesc(), problems.GCDDesc()},
+		Topos:    []Topo{RingTopo()},
+		Sizes:    []int{32},
+		Dynamics: []dynamics.Desc{
+			dynamics.NoneDesc(),
+			dynamics.CrashesDesc(0.02, 10),
+			dynamics.PartitionDesc(2, 1, 25),
+			dynamics.FlapDesc(3, 2, 20),
+			dynamics.BurstDesc(0.5, 0, 15),
+		},
+		Modes:     []sim.Mode{sim.ComponentMode, sim.PairwiseMode},
+		Seeds:     3,
+		BaseSeed:  23,
+		MaxRounds: 60_000,
+	}
+}
+
+func dynFingerprint(c CellResult) string {
+	fp := cellFingerprint(c)
+	if c.Dyn != nil {
+		fp += fmt.Sprintf(" dyn=%+v", *c.Dyn)
+	}
+	return fp
+}
+
+// TestSweepDynamicsDeterministicAcrossWorkersAndShards is the sweep half
+// of the dynamics determinism satellite: a grid with a -dynamics axis
+// must produce identical cell results — including the dynamics reports —
+// for every worker count (1, 2, GOMAXPROCS) and for forced state-shard
+// counts 1 and 4, and the dynamics cells must stay correct (the
+// conservation law and the frozen-state check hold everywhere; every
+// consensus cell reconverges through its faults).
+func TestSweepDynamicsDeterministicAcrossWorkersAndShards(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			a := dynamicsAxes()
+			a.Shards = shards
+			grid, err := a.Grid()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 1 * 2 * 1 * 1 * 5 * 2 * 3; len(grid.Cells) != want {
+				t.Fatalf("grid has %d cells, want %d", len(grid.Cells), want)
+			}
+			var first *Result
+			for _, workers := range []int{1, 2, 0} {
+				res, err := Run(grid, Options{Workers: workers, KeepFinal: true})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if first == nil {
+					first = res
+					continue
+				}
+				for i := range res.Cells {
+					if got, want := dynFingerprint(res.Cells[i]), dynFingerprint(first.Cells[i]); got != want {
+						t.Fatalf("workers=%d: cell %d diverged\ngot:  %s\nwant: %s", workers, i, got, want)
+					}
+				}
+			}
+			sawDynamics := false
+			for _, c := range first.Cells {
+				if c.Violations != 0 {
+					t.Errorf("cell %d (%s): %d violations", c.Cell.Index, c.Cell.Dyn.Name, c.Violations)
+				}
+				if !c.Converged {
+					t.Errorf("cell %d (%s/%s/%s): did not reconverge through its faults",
+						c.Cell.Index, c.Cell.Problem.Name, c.Cell.Dyn.Name, c.Cell.Mode)
+				}
+				if c.Cell.Dyn.Name != "none" {
+					sawDynamics = true
+					if c.Dyn == nil {
+						t.Fatalf("cell %d: dynamics cell carries no report", c.Cell.Index)
+					}
+				} else if c.Dyn != nil {
+					t.Fatalf("cell %d: none cell carries a dynamics report", c.Cell.Index)
+				}
+			}
+			if !sawDynamics {
+				t.Fatal("grid exercised no dynamics cells")
+			}
+		})
+	}
+}
+
+// TestSweepDynamicsCellsMatchIndependentRuns extends the golden contract
+// to the dynamics axis: every dynamics cell rebuilt from its own fields
+// through a cold sim.Run must match the grid result bit for bit.
+func TestSweepDynamicsCellsMatchIndependentRuns(t *testing.T) {
+	grid, err := dynamicsAxes().Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(grid, Options{KeepFinal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range grid.Cells {
+		n := c.Graph.N()
+		p := c.Problem.New(n)
+		initial := c.Problem.Init(n, rand.New(rand.NewSource(c.InitSeed)))
+		cold, err := sim.Run[int](p, c.Env.New(c.Graph), initial, c.Opts)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		want := CellResult{
+			Cell: c, Converged: cold.Converged, Round: cold.Round, Rounds: cold.Rounds,
+			GroupSteps: cold.GroupSteps, Messages: cold.Messages,
+			Violations: len(cold.Violations), Final: cold.Final, Dyn: cold.Dynamics,
+		}
+		if got, wantFP := dynFingerprint(res.Cells[i]), dynFingerprint(want); got != wantFP {
+			t.Errorf("cell %d (%s): grid diverged from independent run\ngrid: %s\ncold: %s",
+				i, c.Dyn.Name, got, wantFP)
+		}
 	}
 }

@@ -20,15 +20,22 @@ type Table struct {
 // canonical scenario-matrix table.
 func ResultTable(cells []CellResult) *Table {
 	t := &Table{Header: []string{
-		"env", "problem", "topology", "n", "mode", "replica", "seed",
+		"env", "problem", "topology", "n", "dynamics", "mode", "replica", "seed",
 		"converged", "rounds", "steps", "messages", "violations",
 	}}
 	for _, c := range cells {
+		dyn := c.Cell.Dyn.Name
+		if dyn == "" {
+			// Cells built outside Axes.Grid (E15 drives a Worker directly)
+			// carry a zero Desc; render it as the none family.
+			dyn = "none"
+		}
 		t.Rows = append(t.Rows, []string{
 			c.Cell.Env.Name,
 			c.Cell.Problem.Name,
 			c.Cell.Topo,
 			fmt.Sprint(c.Cell.Graph.N()),
+			dyn,
 			c.Cell.Mode.String(),
 			fmt.Sprint(c.Cell.Replica),
 			fmt.Sprint(c.Cell.Opts.Seed),

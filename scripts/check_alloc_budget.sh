@@ -24,12 +24,19 @@
 # several-thousand a grid whose cells re-paid engine set-up — tracker,
 # matcher, pool, seeder source — would cost).
 #
+# BenchmarkSimWithDynamics is BenchmarkSimComponentRing64 with an EMPTY
+# dynamics schedule attached and shares its 1600 budget: the dynamics
+# hook (per-round Begin/EndRound + frozen check) must add ~0 allocs/round
+# — the fixed seed measures ~1384 vs ~1377 plain, the difference being
+# one-time applier setup. A regression that allocates per round (mask
+# copies, per-event garbage) multiplies the number and fails loudly.
+#
 # Benchmarks run one iteration with a fixed seed, so allocs/op is a stable
 # budget number for the simulator and a bounded-noise one for the runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$' -benchtime=1x -benchmem .)
+out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$' -benchtime=1x -benchmem .)
 echo "$out"
 
 fail=0
@@ -53,4 +60,5 @@ check BenchmarkSimComponentRing64 1600
 check BenchmarkSimPairwiseSharded4k 1500
 check BenchmarkAsyncRuntimeMin 1200
 check BenchmarkSweepGrid 1200
+check BenchmarkSimWithDynamics 1600
 exit $fail
