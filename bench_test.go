@@ -13,6 +13,7 @@ package selfsim
 // experiment.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -161,6 +162,65 @@ func BenchmarkSimPairwiseSharded4k(b *testing.B) {
 	}
 }
 
+// benchWarmPairwiseCell runs one fixed-seed pairwise churn cell on a
+// persistent warm sweep worker: a FIXED number of rounds per iteration
+// (StopOnConverged off), so ns/op ÷ rounds and allocs/op ÷ rounds are
+// per-round numbers. Availability 0.999 puts the system in the sparse
+// regime the delta index targets — ~0.1% of edges flip per round, so a
+// round's index maintenance is O(changes) while the matching draw itself
+// remains the algorithm's O(usable edges).
+func benchWarmPairwiseCell(b *testing.B, w *sweep.Worker, g *Graph, rounds int) {
+	cell := sweep.Cell{
+		Env:      sweepenv.ChurnDesc(0.999),
+		Problem:  problems.MinDesc(),
+		Topo:     "ring",
+		Graph:    g,
+		Mode:     PairwiseMode,
+		InitSeed: int64(g.N()),
+		Opts: Options{Seed: 1, MaxRounds: rounds,
+			Mode: PairwiseMode, Shards: 4},
+	}
+	if _, err := w.Do(cell); err != nil { // warm the engine scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cr, err := w.Do(cell)
+		if err != nil || cr.Rounds != rounds {
+			b.Fatalf("cell run failed: %v (rounds=%d)", err, cr.Rounds)
+		}
+	}
+}
+
+// BenchmarkSimRoundScale measures steady-state pairwise round cost at
+// N ∈ {10⁴, 10⁵, 10⁶} on a warm engine, roundsPerOp rounds per
+// iteration. scripts/bench_record.sh runs this family and records
+// ns/round and allocs/round per N in BENCH_roundscale.json; the headline
+// acceptance claim is allocs/round flat in N (heap traffic tracks
+// changes and rounds, not graph size).
+func BenchmarkSimRoundScale(b *testing.B) {
+	const roundsPerOp = 32
+	w := sweep.NewWorker()
+	defer w.Close()
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			benchWarmPairwiseCell(b, w, Ring(n), roundsPerOp)
+		})
+	}
+}
+
+// BenchmarkSimPairwiseDelta1e5 is the steady-state allocation-budget
+// benchmark for the O(changes) round path at N = 10⁵ (64 rounds per op
+// on a warm engine — post-warmup, so engine set-up is off the meter and
+// allocs/op pins per-run bookkeeping plus 64 delta-indexed rounds). Its
+// hard budget lives in scripts/check_alloc_budget.sh.
+func BenchmarkSimPairwiseDelta1e5(b *testing.B) {
+	w := sweep.NewWorker()
+	defer w.Close()
+	benchWarmPairwiseCell(b, w, Ring(100_000), 64)
+}
+
 // BenchmarkE15Scaling regenerates the 10⁴–10⁵-agent scaling study.
 func BenchmarkE15Scaling(b *testing.B) { benchSection(b, experiments.E15Scaling) }
 
@@ -171,6 +231,10 @@ func BenchmarkE16ScenarioMatrix(b *testing.B) { benchSection(b, experiments.E16S
 // BenchmarkE17Dynamics regenerates the fault-and-dynamism matrix
 // (scripted crash/recover, partition/heal, burst schedules).
 func BenchmarkE17Dynamics(b *testing.B) { benchSection(b, experiments.E17Dynamics) }
+
+// BenchmarkE18RoundCost regenerates the steady-state round-cost study —
+// fixed-round pairwise cells at N up to 10⁶ on the delta-indexed engine.
+func BenchmarkE18RoundCost(b *testing.B) { benchSection(b, experiments.E18RoundCost) }
 
 // BenchmarkSimWithDynamics is BenchmarkSimComponentRing64 with an EMPTY
 // dynamics schedule attached: the same run, rounds, and results, plus

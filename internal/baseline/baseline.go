@@ -87,12 +87,12 @@ func Snapshot(e env.Environment, values []int, maxRounds int, seed int64) (*Resu
 		broken := false
 		for _, id := range treeEdges {
 			edge := g.Edge(id)
-			if !s.EdgeUp[id] || !s.AgentUp[edge.A] || !s.AgentUp[edge.B] {
+			if !s.Usable(id, edge.A, edge.B) {
 				broken = true
 				break
 			}
 		}
-		if !s.AgentUp[0] {
+		if !s.AgentIsUp(0) {
 			broken = true
 		}
 		if broken {
@@ -108,7 +108,7 @@ func Snapshot(e env.Environment, values []int, maxRounds int, seed int64) (*Resu
 		frontier := make([]bool, n)
 		copy(frontier, inTree)
 		for id, edge := range g.Edges() {
-			if !s.EdgeUp[id] || !s.AgentUp[edge.A] || !s.AgentUp[edge.B] {
+			if !s.Usable(id, edge.A, edge.B) {
 				continue
 			}
 			var other int
@@ -169,7 +169,7 @@ func Flooding(e env.Environment, values []int, maxRounds int, seed int64) (*Resu
 	for round := 0; round < maxRounds; round++ {
 		s := e.Step(round, rng)
 		for id, edge := range g.Edges() {
-			if !s.EdgeUp[id] || !s.AgentUp[edge.A] || !s.AgentUp[edge.B] {
+			if !s.Usable(id, edge.A, edge.B) {
 				continue
 			}
 			a, b := edge.A, edge.B

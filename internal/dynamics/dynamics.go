@@ -59,6 +59,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bitset"
 	"repro/internal/engine"
 	"repro/internal/env"
 	"repro/internal/graph"
@@ -402,12 +403,13 @@ type Applier struct {
 	burstIDs []int // this round's burst-dropped edge ids
 
 	// All-true fallback masks, used only when the environment hands out
-	// nil EdgeUp/AgentUp (meaning "all up") and the overlay needs
-	// something to write into. The undo pass restores them to all-true.
-	edgeUpBuf, agentUpBuf []bool
+	// absent (zero) EdgeUp/AgentUp masks — meaning "all up" — and the
+	// overlay needs something to write into. The undo pass restores them
+	// to all-true.
+	edgeUpBuf, agentUpBuf bitset.Set
 
 	// Overlay undo logs: exactly the mask entries BeginRound set false.
-	curEdgeUp, curAgentUp []bool
+	curEdgeUp, curAgentUp bitset.Set
 	edgeUndo, agentUndo   []int
 
 	rng *engine.FastRand
@@ -445,8 +447,8 @@ func (a *Applier) Reset(s *Schedule, g *graph.Graph, runSeed int64) {
 	a.justCrashed = a.justCrashed[:0]
 	a.burstIDs = a.burstIDs[:0]
 	a.edgeUndo, a.agentUndo = a.edgeUndo[:0], a.agentUndo[:0]
-	a.curEdgeUp, a.curAgentUp = nil, nil
-	a.edgeUpBuf, a.agentUpBuf = nil, nil // re-materialized on demand for the new graph
+	a.curEdgeUp, a.curAgentUp = bitset.Set{}, bitset.Set{}
+	a.edgeUpBuf, a.agentUpBuf = bitset.Set{}, bitset.Set{} // re-materialized on demand for the new graph
 
 	if cap(a.winActive) < len(s.rules) {
 		a.winActive = make([]bool, len(s.rules))
@@ -634,15 +636,15 @@ func (a *Applier) BeginRound(round int, es env.State) env.State {
 
 	// Overlay: edges first.
 	eu := es.EdgeUp
-	if eu == nil && (anyCut || len(a.burstIDs) > 0) {
+	if eu.IsZero() && (anyCut || len(a.burstIDs) > 0) {
 		eu = a.allTrueEdges()
 	}
 	if anyCut {
 		for i := range a.s.rules {
 			if a.s.rules[i].kind == ruleCutWindow && a.winActive[i] {
 				for _, id := range a.cutFor(i) {
-					if eu[id] {
-						eu[id] = false
+					if eu.Get(id) {
+						eu.Clear(id)
 						a.edgeUndo = append(a.edgeUndo, id)
 					}
 				}
@@ -650,19 +652,19 @@ func (a *Applier) BeginRound(round int, es env.State) env.State {
 		}
 	}
 	for _, id := range a.burstIDs {
-		if eu[id] {
-			eu[id] = false
+		if eu.Get(id) {
+			eu.Clear(id)
 			a.edgeUndo = append(a.edgeUndo, id)
 		}
 	}
 	// Then the live set.
 	au := es.AgentUp
-	if au == nil && len(a.frozen) > 0 {
+	if au.IsZero() && len(a.frozen) > 0 {
 		au = a.allTrueAgents()
 	}
 	for _, ag := range a.frozen {
-		if au[ag] {
-			au[ag] = false
+		if au.Get(ag) {
+			au.Clear(ag)
 			a.agentUndo = append(a.agentUndo, ag)
 		}
 	}
@@ -686,31 +688,38 @@ func (a *Applier) sampleCrashes(rate float64) {
 // environment's buffers to exactly the values its Step produced.
 func (a *Applier) EndRound() {
 	for _, id := range a.edgeUndo {
-		a.curEdgeUp[id] = true
+		a.curEdgeUp.Set(id)
 	}
 	for _, ag := range a.agentUndo {
-		a.curAgentUp[ag] = true
+		a.curAgentUp.Set(ag)
 	}
 	a.edgeUndo, a.agentUndo = a.edgeUndo[:0], a.agentUndo[:0]
-	a.curEdgeUp, a.curAgentUp = nil, nil
+	a.curEdgeUp, a.curAgentUp = bitset.Set{}, bitset.Set{}
 }
 
-func (a *Applier) allTrueEdges() []bool {
-	if a.edgeUpBuf == nil {
-		a.edgeUpBuf = make([]bool, a.g.M())
-		for i := range a.edgeUpBuf {
-			a.edgeUpBuf[i] = true
-		}
+// OverlayEdges returns the edge ids the most recent BeginRound forced
+// down (entries the environment had up that the overlay cleared). Valid
+// until EndRound; callers that need the list across the round boundary —
+// the engine's changed-id stream does — must copy it. Together with the
+// environment's own StepDeltas, the previous round's overlay list, and
+// this one, a consumer has a superset of every mask entry that can
+// differ between consecutive effective states.
+func (a *Applier) OverlayEdges() []int { return a.edgeUndo }
+
+// OverlayAgents is OverlayEdges for the agent mask (the currently frozen
+// agents that the environment had up).
+func (a *Applier) OverlayAgents() []int { return a.agentUndo }
+
+func (a *Applier) allTrueEdges() bitset.Set {
+	if a.edgeUpBuf.IsZero() {
+		a.edgeUpBuf = bitset.NewAllSet(a.g.M())
 	}
 	return a.edgeUpBuf
 }
 
-func (a *Applier) allTrueAgents() []bool {
-	if a.agentUpBuf == nil {
-		a.agentUpBuf = make([]bool, a.g.N())
-		for i := range a.agentUpBuf {
-			a.agentUpBuf[i] = true
-		}
+func (a *Applier) allTrueAgents() bitset.Set {
+	if a.agentUpBuf.IsZero() {
+		a.agentUpBuf = bitset.NewAllSet(a.g.N())
 	}
 	return a.agentUpBuf
 }

@@ -81,7 +81,7 @@ func TestCrashRecoverFreezesAgents(t *testing.T) {
 			t.Fatalf("round %d: frozen %v, want %v", round, got, want)
 		}
 		for _, ag := range want {
-			if eff.AgentUp[ag] {
+			if eff.AgentUp.Get(ag) {
 				t.Errorf("round %d: crashed agent %d still up", round, ag)
 			}
 		}
@@ -93,10 +93,8 @@ func TestCrashRecoverFreezesAgents(t *testing.T) {
 		}
 		a.EndRound()
 		// The overlay must be fully undone.
-		for i, up := range es.AgentUp {
-			if !up {
-				t.Fatalf("round %d: agent %d left masked after EndRound", round, i)
-			}
+		if !es.AgentUp.All() {
+			t.Fatalf("round %d: agents left masked after EndRound", round)
 		}
 	}
 	rep := a.Report()
@@ -126,7 +124,7 @@ func TestPartitionWindowMasksAndHeals(t *testing.T) {
 		eff := a.BeginRound(round, es)
 		masked := 0
 		for id := 0; id < g.M(); id++ {
-			if !eff.EdgeUp[id] {
+			if !eff.EdgeUp.Get(id) {
 				e := g.Edge(id)
 				if (e.A < 4) == (e.B < 4) {
 					t.Fatalf("round %d: interior edge %v masked", round, e)
@@ -142,10 +140,8 @@ func TestPartitionWindowMasksAndHeals(t *testing.T) {
 			t.Errorf("round %d: %d edges masked outside window", round, masked)
 		}
 		a.EndRound()
-		for id, up := range es.EdgeUp {
-			if !up {
-				t.Fatalf("round %d: edge %d left masked after EndRound", round, id)
-			}
+		if !es.EdgeUp.All() {
+			t.Fatalf("round %d: edges left masked after EndRound", round)
 		}
 	}
 	rep := a.Report()
@@ -195,8 +191,8 @@ func TestDynamicsDeterministic(t *testing.T) {
 		for round := 0; round < 40; round++ {
 			eff := a.BeginRound(round, es)
 			fmt.Fprintf(&b, "r%d frozen=%v edges=", round, a.Frozen())
-			for _, up := range eff.EdgeUp {
-				if up {
+			for id := 0; id < eff.EdgeUp.Len(); id++ {
+				if eff.EdgeUp.Get(id) {
 					b.WriteByte('1')
 				} else {
 					b.WriteByte('0')
@@ -234,7 +230,7 @@ func TestEmptyScheduleIsTransparent(t *testing.T) {
 	es := env.AllUp(g)
 	for round := 0; round < 10; round++ {
 		eff := a.BeginRound(round, es)
-		if &eff.EdgeUp[0] != &es.EdgeUp[0] || &eff.AgentUp[0] != &es.AgentUp[0] {
+		if &eff.EdgeUp.Words()[0] != &es.EdgeUp.Words()[0] || &eff.AgentUp.Words()[0] != &es.AgentUp.Words()[0] {
 			t.Fatal("empty schedule replaced the environment's buffers")
 		}
 		a.EndRound()
@@ -253,17 +249,11 @@ func TestNilMaskFallback(t *testing.T) {
 	for round := 0; round < 4; round++ {
 		eff := a.BeginRound(round, env.State{})
 		if round < 2 {
-			if eff.AgentUp == nil || eff.AgentUp[3] {
-				t.Fatalf("round %d: crashed agent not masked under nil AgentUp", round)
+			if eff.AgentUp.IsZero() || eff.AgentUp.Get(3) {
+				t.Fatalf("round %d: crashed agent not masked under absent AgentUp", round)
 			}
-			down := 0
-			for _, up := range eff.EdgeUp {
-				if !up {
-					down++
-				}
-			}
-			if down == 0 {
-				t.Fatalf("round %d: no edges masked under nil EdgeUp", round)
+			if eff.EdgeUp.IsZero() || eff.EdgeUp.Count() == eff.EdgeUp.Len() {
+				t.Fatalf("round %d: no edges masked under absent EdgeUp", round)
 			}
 		}
 		a.EndRound()

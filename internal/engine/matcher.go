@@ -3,6 +3,7 @@ package engine
 import (
 	"math/rand"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
@@ -18,67 +19,115 @@ import (
 //     computes a greedy maximal matching over its usable interior edges
 //     independently, on its own substream seeded from (round seed,
 //     block index);
-//  2. a sequential reconciliation pass then matches the usable boundary
-//     edges (endpoints in distinct blocks) in an order drawn from the
-//     boundary substream, skipping endpoints the interior pass claimed.
+//  2. the boundary edges (endpoints in distinct blocks) are reconciled
+//     pair-by-pair along the partition's precomputed level schedule
+//     (graph.EdgePartition.Levels): within a level no two block pairs
+//     share a block, so the pairs of a level run concurrently, each
+//     shuffling its own usable boundary edges on its own substream and
+//     claiming greedily against the global matched set. Levels are
+//     separated by pool barriers, so claims from earlier levels are
+//     visible — the "tree order" that replaces the old sequential
+//     boundary pass without serializing large-cut graphs.
 //
 // Every usable interior edge has a matched endpoint after pass 1 within
-// its own block, and pass 2 greedily exhausts the boundary edges, so the
-// combined matching is maximal. Every choice is a function of (round
-// seed, block partition) alone — never of worker scheduling, pool size,
-// or the state layout — so results are bit-identical for any GOMAXPROCS
-// and any Options.Shards; the block count itself is part of the
-// algorithm (different block counts draw different, equally valid
-// matchings, exactly like different seeds) and is therefore derived from
-// the system size, not from the machine.
+// its own block, and every usable boundary edge is examined exactly once
+// by its pair in pass 2, so the combined matching is maximal. Every
+// choice is a function of (round seed, block partition) alone — the
+// level schedule is a pure function of the edge set, never of worker
+// scheduling, pool size, or the state layout — so results are
+// bit-identical for any GOMAXPROCS and any Options.Shards; the block
+// count itself is part of the algorithm (different block counts draw
+// different, equally valid matchings, exactly like different seeds) and
+// is therefore derived from the system size, not from the machine.
 //
-// All buffers are matcher-owned and reused: after warm-up a Match call
-// allocates nothing.
+// Usability is not recomputed from the masks each round. The matcher
+// owns a usable-edge delta index: one bitset per bucket (a block's
+// interior list, or one block pair's boundary list) over positions in
+// that bucket's static ascending edge-id list. Update maintains the
+// index from the caller's changed-id stream (environment deltas plus
+// dynamics overlay logs) in O(changes); Match then materializes each
+// bucket's usable ids by word-skip scan. A caller that cannot bound the
+// change set passes exact=false and pays one full O(E) rescan — which is
+// also how a matcher revived from a warm cache self-heals, since its
+// first Update of a run is always a full rescan.
+//
+// All buffers are matcher-owned and reused: after warm-up an
+// Update+Match round allocates nothing.
 type PairMatcher struct {
-	part  graph.EdgePartition
-	edges []graph.Edge
+	g     *graph.Graph
+	part  *graph.EdgePartition
+	edges []graph.Edge // shared read-only view
 
 	matched []bool // per agent: claimed by the current round's matching
-	// Per-block scratch (parallel writers touch only their own index):
-	// usable interior edge ids, then the block's matched edge ids.
-	usable [][]int
-	found  [][]int
-	// rands[b] is block b's reusable substream; rands[Blocks] drives the
-	// boundary reconciliation pass. FastRand so the per-round reseed is
-	// O(1) — with stdlib sources the O(607) rebuild per Seed would grow
-	// linearly in the block count (see fastrand.go), reseeded in place
-	// every round.
+
+	// Usable-edge delta index. Buckets 0..Blocks-1 are the interior
+	// lists; bucket Blocks+k is boundary pair k. bucketOf/bucketPos map
+	// an edge id to its bucket and its position in that bucket's static
+	// list; bucketBits[b] marks the currently usable positions.
+	primed     bool
+	bucketOf   []int32
+	bucketPos  []int32
+	bucketBits []bitset.Set
+	bucketIDs  [][]int // static ascending edge ids per bucket (shared with part)
+
+	// Per-bucket scratch (parallel writers touch only their own index):
+	// the materialized+shuffled usable ids, then the bucket's matched ids.
+	work  [][]int
+	found [][]int
+	// rands[i] is bucket i's reusable substream. FastRand so the
+	// per-round reseed is O(1) — with stdlib sources the O(607) rebuild
+	// per Seed would grow linearly in the bucket count (see fastrand.go).
 	rands []*FastRand
 
-	boundary []int // usable boundary edge ids, reused
-	out      []int // final matched edge ids in deterministic order
+	out []int // final matched edge ids in deterministic order
 
-	// Current-round inputs, stashed so blockFn (built once) captures no
-	// per-round state and the pool fan-out allocates nothing.
-	curEdgeUp, curAgentUp []bool
-	curSeed               int64
-	blockFn               func(worker, b int)
+	// Current-round inputs, stashed so the fan-out closures (built once)
+	// capture no per-round state and the pool fan-out allocates nothing.
+	curSeed  int64
+	curLevel []int
+	blockFn  func(worker, b int)
+	pairFn   func(worker, i int)
 }
 
-// matchStreamSeed derives the substream seed for block b (or, at
-// b == Blocks, the boundary pass) from the round's matching seed. The
-// prime spreads the substreams across the seed space, in the same style
-// as AgentSeed.
+// matchStreamSeed derives the substream seed for bucket b (interior
+// blocks first, then one stream per boundary pair) from the round's
+// matching seed. The prime spreads the substreams across the seed space,
+// in the same style as AgentSeed.
 func matchStreamSeed(seed int64, b int) int64 { return seed + int64(b+1)*104729 }
 
 // NewPairMatcher builds a matcher for g with the given number of
 // contiguous agent blocks (clamped to [1, N]).
 func NewPairMatcher(g *graph.Graph, blocks int) *PairMatcher {
 	part := g.PartitionEdges(blocks)
+	nb := part.Blocks + len(part.Pairs)
 	m := &PairMatcher{
-		part:    part,
-		edges:   g.Edges(),
-		matched: make([]bool, g.N()),
-		usable:  make([][]int, part.Blocks),
-		found:   make([][]int, part.Blocks),
-		rands:   make([]*FastRand, part.Blocks+1),
+		g:          g,
+		part:       part,
+		edges:      g.EdgesView(),
+		matched:    make([]bool, g.N()),
+		bucketOf:   make([]int32, g.M()),
+		bucketPos:  make([]int32, g.M()),
+		bucketBits: make([]bitset.Set, nb),
+		bucketIDs:  make([][]int, nb),
+		work:       make([][]int, nb),
+		found:      make([][]int, nb),
+		rands:      make([]*FastRand, nb),
 	}
-	m.blockFn = func(_, b int) { m.matchBlock(b, m.curSeed, m.curEdgeUp, m.curAgentUp) }
+	for b := 0; b < part.Blocks; b++ {
+		m.bucketIDs[b] = part.Interior[b]
+	}
+	for k := range part.Pairs {
+		m.bucketIDs[part.Blocks+k] = part.Pairs[k].Edges
+	}
+	for b, ids := range m.bucketIDs {
+		m.bucketBits[b] = bitset.New(len(ids))
+		for pos, id := range ids {
+			m.bucketOf[id] = int32(b)
+			m.bucketPos[id] = int32(pos)
+		}
+	}
+	m.blockFn = func(_, b int) { m.matchBucket(b, m.curSeed) }
+	m.pairFn = func(_, i int) { m.matchBucket(m.part.Blocks+m.curLevel[i], m.curSeed) }
 	return m
 }
 
@@ -93,7 +142,7 @@ func (m *PairMatcher) Edge(id int) graph.Edge { return m.edges[id] }
 func (m *PairMatcher) Matched(agent int) bool { return m.matched[agent] }
 
 // stream returns substream i restarted in place for the current round,
-// without allocations after first use. Distinct blocks never share an
+// without allocations after first use. Distinct buckets never share an
 // entry.
 func (m *PairMatcher) stream(i int, seed int64) *rand.Rand {
 	if m.rands[i] == nil {
@@ -105,30 +154,74 @@ func (m *PairMatcher) stream(i int, seed int64) *rand.Rand {
 }
 
 // usableEdge reports whether edge id can carry a pair step under the
-// given masks (nil masks mean all-up, as in graph.Components).
-func (m *PairMatcher) usableEdge(id int, edgeUp, agentUp []bool) bool {
-	if edgeUp != nil && !edgeUp[id] {
+// given masks (zero masks mean all-up, as in graph.Components).
+func (m *PairMatcher) usableEdge(id int, edgeUp, agentUp bitset.Set) bool {
+	if !edgeUp.IsZero() && !edgeUp.Get(id) {
 		return false
 	}
-	if agentUp != nil {
+	if !agentUp.IsZero() {
 		e := m.edges[id]
-		if !agentUp[e.A] || !agentUp[e.B] {
+		if !agentUp.Get(e.A) || !agentUp.Get(e.B) {
 			return false
 		}
 	}
 	return true
 }
 
-// matchBlock runs pass 1 for one block: collect usable interior edges,
-// shuffle them on the block substream, and claim greedily. Blocks touch
-// disjoint agents, so concurrent matchBlock calls never race.
-func (m *PairMatcher) matchBlock(b int, seed int64, edgeUp, agentUp []bool) {
-	ids := m.usable[b][:0]
-	for _, id := range m.part.Interior[b] {
-		if m.usableEdge(id, edgeUp, agentUp) {
-			ids = append(ids, id)
+// Update brings the usable-edge index in line with the round's effective
+// masks. touchedEdges and touchedAgents list the ids whose mask entries
+// may have changed since the previous Update (a superset is fine);
+// exact=false declares the change set unbounded and forces a full O(E)
+// rescan. The first Update after construction or a cache revival always
+// rescans, so stale index state cannot leak between runs.
+func (m *PairMatcher) Update(edgeUp, agentUp bitset.Set, touchedEdges, touchedAgents []int, exact bool) {
+	if !m.primed || !exact {
+		m.rebuild(edgeUp, agentUp)
+		m.primed = true
+		return
+	}
+	for _, id := range touchedEdges {
+		m.reexamine(id, edgeUp, agentUp)
+	}
+	for _, ag := range touchedAgents {
+		for _, id := range m.g.IncidentEdgeIDs(ag) {
+			m.reexamine(id, edgeUp, agentUp)
 		}
 	}
+}
+
+// reexamine recomputes edge id's usability and repairs its bucket bit on
+// change. O(1) per call.
+func (m *PairMatcher) reexamine(id int, edgeUp, agentUp bitset.Set) {
+	now := m.usableEdge(id, edgeUp, agentUp)
+	b, pos := m.bucketOf[id], int(m.bucketPos[id])
+	if m.bucketBits[b].Get(pos) != now {
+		m.bucketBits[b].SetTo(pos, now)
+	}
+}
+
+// rebuild recomputes every bucket bit from scratch.
+func (m *PairMatcher) rebuild(edgeUp, agentUp bitset.Set) {
+	for b, ids := range m.bucketIDs {
+		bits := m.bucketBits[b]
+		bits.ClearAll()
+		for pos, id := range ids {
+			if m.usableEdge(id, edgeUp, agentUp) {
+				bits.Set(pos)
+			}
+		}
+	}
+}
+
+// matchBucket materializes bucket b's usable edge ids (ascending, by
+// word-skip scan of the index), shuffles them on the bucket substream,
+// and claims greedily against the global matched set. Interior buckets
+// of distinct blocks touch disjoint agents; boundary-pair buckets are
+// only run concurrently within one schedule level, whose pairs are
+// block-disjoint by construction — so concurrent matchBucket calls never
+// race.
+func (m *PairMatcher) matchBucket(b int, seed int64) {
+	ids := m.bucketBits[b].AppendSelected(m.work[b][:0], m.bucketIDs[b])
 	rng := m.stream(b, seed)
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	found := m.found[b][:0]
@@ -140,54 +233,52 @@ func (m *PairMatcher) matchBlock(b int, seed int64, edgeUp, agentUp []bool) {
 		m.matched[e.A], m.matched[e.B] = true, true
 		found = append(found, id)
 	}
-	m.usable[b] = ids
+	m.work[b] = ids
 	m.found[b] = found
 }
 
-// Match computes the round's maximal matching over the edges usable
-// under the given masks and returns the matched edge ids in a
-// deterministic order (block 0's pairs, block 1's, …, then the boundary
-// pairs). The returned slice aliases matcher-owned scratch and is valid
-// until the next Match call. seed should be one draw from the engine's
-// master stream; pool parallelizes the per-block pass (results are
+// Match computes the round's maximal matching over the edges currently
+// marked usable by the index (call Update first each round) and returns
+// the matched edge ids in a deterministic order (block 0's pairs, block
+// 1's, …, then boundary pair 0's, pair 1's, …). The returned slice
+// aliases matcher-owned scratch and is valid until the next Match call.
+// seed should be one draw from the engine's master stream; pool
+// parallelizes the per-block pass and each boundary level (results are
 // identical for every pool size).
-func (m *PairMatcher) Match(edgeUp, agentUp []bool, seed int64, pool *Pool) []int {
+func (m *PairMatcher) Match(seed int64, pool *Pool) []int {
+	if !m.primed {
+		panic("engine.PairMatcher: Match before Update")
+	}
 	for i := range m.matched {
 		m.matched[i] = false
 	}
 	blocks := m.part.Blocks
 	if blocks == 1 {
-		m.matchBlock(0, seed, edgeUp, agentUp)
+		m.matchBucket(0, seed)
 	} else {
-		m.curEdgeUp, m.curAgentUp, m.curSeed = edgeUp, agentUp, seed
+		m.curSeed = seed
 		pool.DoAll(blocks, m.blockFn)
-		m.curEdgeUp, m.curAgentUp = nil, nil
+	}
+
+	// Boundary reconciliation, one level at a time. The DoAll barrier
+	// between levels publishes every claim a level made before the next
+	// level's pairs read the matched set.
+	if len(m.part.Levels) > 0 {
+		m.curSeed = seed
+		for _, level := range m.part.Levels {
+			if len(level) == 1 {
+				m.matchBucket(blocks+level[0], seed)
+				continue
+			}
+			m.curLevel = level
+			pool.DoAll(len(level), m.pairFn)
+		}
 	}
 
 	out := m.out[:0]
-	for b := 0; b < blocks; b++ {
+	nb := blocks + len(m.part.Pairs)
+	for b := 0; b < nb; b++ {
 		out = append(out, m.found[b]...)
-	}
-
-	// Pass 2: sequential boundary reconciliation on its own substream.
-	if len(m.part.Boundary) > 0 {
-		ids := m.boundary[:0]
-		for _, id := range m.part.Boundary {
-			if m.usableEdge(id, edgeUp, agentUp) {
-				ids = append(ids, id)
-			}
-		}
-		rng := m.stream(blocks, seed)
-		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-		for _, id := range ids {
-			e := m.edges[id]
-			if m.matched[e.A] || m.matched[e.B] {
-				continue
-			}
-			m.matched[e.A], m.matched[e.B] = true, true
-			out = append(out, id)
-		}
-		m.boundary = ids
 	}
 	m.out = out
 	return out

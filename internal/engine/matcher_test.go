@@ -5,6 +5,7 @@ import (
 	"slices"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
@@ -26,6 +27,13 @@ func randomMasks(g *graph.Graph, rng *rand.Rand) (edgeUp, agentUp []bool) {
 	return edgeUp, agentUp
 }
 
+// match is the test shorthand for the full-rescan Update followed by
+// Match — the unprimed path every caller without a change stream uses.
+func match(m *PairMatcher, edgeUp, agentUp []bool, seed int64, pool *Pool) []int {
+	m.Update(bitset.FromBools(edgeUp), bitset.FromBools(agentUp), nil, nil, false)
+	return m.Match(seed, pool)
+}
+
 // TestPairMatcherValidMaximal: on random graphs, masks, blocks, and
 // seeds, the matching must be a valid matching (no shared endpoints, only
 // usable edges) and maximal (no usable edge with both endpoints free).
@@ -38,7 +46,7 @@ func TestPairMatcherValidMaximal(t *testing.T) {
 		m := NewPairMatcher(g, 1+rng.Intn(5))
 		for round := 0; round < 4; round++ {
 			edgeUp, agentUp := randomMasks(g, rng)
-			ids := m.Match(edgeUp, agentUp, rng.Int63(), pool)
+			ids := match(m, edgeUp, agentUp, rng.Int63(), pool)
 			claimed := make([]bool, g.N())
 			usable := func(id int) bool {
 				e := g.Edge(id)
@@ -87,7 +95,7 @@ func TestPairMatcherPoolIndependent(t *testing.T) {
 			for i := range edgeUp {
 				edgeUp[i] = maskRng.Float64() < 0.8
 			}
-			got = append(got, slices.Clone(m.Match(edgeUp, nil, seed, pool)))
+			got = append(got, slices.Clone(match(m, edgeUp, nil, seed, pool)))
 		}
 		if want == nil {
 			want = got
@@ -115,7 +123,7 @@ func TestPairMatcherBlockCountChangesDrawOnly(t *testing.T) {
 		a := NewPairMatcher(g, blocks)
 		b := NewPairMatcher(g, blocks)
 		for seed := int64(0); seed < 5; seed++ {
-			if !slices.Equal(a.Match(nil, nil, seed, pool), b.Match(nil, nil, seed, pool)) {
+			if !slices.Equal(match(a, nil, nil, seed, pool), match(b, nil, nil, seed, pool)) {
 				t.Fatalf("blocks=%d seed=%d: two matchers over the same inputs disagree", blocks, seed)
 			}
 		}
@@ -125,24 +133,37 @@ func TestPairMatcherBlockCountChangesDrawOnly(t *testing.T) {
 	}
 }
 
-// TestPairMatcherAllocFree: warm Match calls must not allocate — the
-// matching buffers are engine-owned, like the component path's.
+// TestPairMatcherAllocFree: warm Update+Match rounds must not allocate —
+// the index and matching buffers are engine-owned, like the component
+// path's. Exercises both the full-rescan and the exact-delta Update.
 func TestPairMatcherAllocFree(t *testing.T) {
 	g := graph.Torus(8, 8)
 	pool := NewPool(1, 1)
 	defer pool.Close()
 	m := NewPairMatcher(g, 4)
-	edgeUp := make([]bool, g.M())
-	for i := range edgeUp {
-		edgeUp[i] = i%3 != 0
+	edgeUp := bitset.New(g.M())
+	for i := 0; i < g.M(); i++ {
+		edgeUp.SetTo(i, i%3 != 0)
 	}
+	touched := []int{0, 1, 2}
 	seed := int64(0)
-	m.Match(edgeUp, nil, seed, pool) // warm-up growth
+	m.Update(edgeUp, bitset.Set{}, nil, nil, false)
+	m.Match(seed, pool) // warm-up growth
 	allocs := testing.AllocsPerRun(50, func() {
 		seed++
-		m.Match(edgeUp, nil, seed, pool)
+		m.Update(edgeUp, bitset.Set{}, nil, nil, false)
+		m.Match(seed, pool)
 	})
 	if allocs != 0 {
-		t.Errorf("warm Match allocated %.0f times per run", allocs)
+		t.Errorf("warm rescan Update+Match allocated %.0f times per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		seed++
+		edgeUp.SetTo(0, seed%2 == 0)
+		m.Update(edgeUp, bitset.Set{}, touched, nil, true)
+		m.Match(seed, pool)
+	})
+	if allocs != 0 {
+		t.Errorf("warm delta Update+Match allocated %.0f times per run", allocs)
 	}
 }

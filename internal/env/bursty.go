@@ -20,9 +20,9 @@ type MarkovLinks struct {
 	// PUpToDown and PDownToUp are the per-round transition probabilities.
 	PUpToDown, PDownToUp float64
 
-	state  []bool
 	inited bool
 	buf    stateBuf
+	deltaState
 }
 
 // NewMarkovLinks builds a bursty-churn environment. The stationary
@@ -50,27 +50,36 @@ func (e *MarkovLinks) Name() string {
 // Graph implements Environment.
 func (e *MarkovLinks) Graph() *graph.Graph { return e.g }
 
-// Step implements Environment.
+// Step implements Environment. The chain state lives directly in the
+// state buffer; the per-edge transition loop records the exact flip list,
+// so StepDeltas is exact from the second round on.
 func (e *MarkovLinks) Step(_ int, rng *rand.Rand) State {
+	m := e.g.M()
+	var s State
+	steady := e.inited
 	if !e.inited {
-		e.state = make([]bool, e.g.M())
+		s = e.buf.allUp(e.g)
 		avail := e.StationaryAvailability()
-		for i := range e.state {
-			e.state[i] = rng.Float64() < avail
+		for i := 0; i < m; i++ {
+			s.EdgeUp.SetTo(i, rng.Float64() < avail)
 		}
 		e.inited = true
+	} else {
+		s = e.buf.s
 	}
-	for i, up := range e.state {
-		if up {
+	edges := e.edges[:0]
+	for i := 0; i < m; i++ {
+		if s.EdgeUp.Get(i) {
 			if rng.Float64() < e.PUpToDown {
-				e.state[i] = false
+				s.EdgeUp.Clear(i)
+				edges = append(edges, i)
 			}
 		} else if rng.Float64() < e.PDownToUp {
-			e.state[i] = true
+			s.EdgeUp.Set(i)
+			edges = append(edges, i)
 		}
 	}
-	s := e.buf.allUp(e.g)
-	copy(s.EdgeUp, e.state)
+	e.deltaState = deltaState{edges: edges, ok: steady}
 	return s
 }
 
@@ -83,7 +92,10 @@ type DayNight struct {
 	// DayRounds and NightRounds are the phase lengths.
 	DayRounds, NightRounds int
 
-	buf stateBuf
+	buf     stateBuf
+	primed  bool
+	prevDay bool
+	deltaState
 }
 
 // NewDayNight builds the periodic environment.
@@ -111,12 +123,32 @@ func (e *DayNight) Day(round int) bool {
 	return round%period < e.DayRounds
 }
 
-// Step implements Environment.
+// Step implements Environment. Within a phase nothing changes (exact
+// empty deltas); on a phase transition every edge flips, which StepDeltas
+// reports as ok=false so consumers do the one full rescan the transition
+// genuinely costs.
 func (e *DayNight) Step(round int, _ *rand.Rand) State {
-	if e.Day(round) {
-		return e.buf.allUp(e.g)
+	day := e.Day(round)
+	var s State
+	switch {
+	case !e.primed:
+		if day {
+			s = e.buf.allUp(e.g)
+		} else {
+			s = e.buf.edgesDown(e.g)
+		}
+		e.primed = true
+		e.deltaState = deltaState{ok: false}
+	case day != e.prevDay:
+		s = e.buf.s
+		s.EdgeUp.FillValue(day)
+		e.deltaState = deltaState{ok: false}
+	default:
+		s = e.buf.s
+		e.deltaState = deltaState{ok: true}
 	}
-	return e.buf.edgesDown(e.g)
+	e.prevDay = day
+	return s
 }
 
 // Compose layers environments over the same graph: an edge is up only
@@ -125,6 +157,7 @@ func (e *DayNight) Step(round int, _ *rand.Rand) State {
 type Compose struct {
 	layers []Environment
 	out    State
+	deltaState
 }
 
 // NewCompose builds the conjunction of the given environments, which must
@@ -158,25 +191,44 @@ func (e *Compose) Name() string {
 // Graph implements Environment.
 func (e *Compose) Graph() *graph.Graph { return e.layers[0].Graph() }
 
-// Step implements Environment.
+// Step implements Environment. The conjunction is word-level AND over
+// the layer masks. A layer flip need not flip the conjunction, but the
+// "may have changed" contract of StepDeltas permits a superset, so the
+// composite delta is simply the concatenation of the layer deltas — and
+// it is only valid (ok) when every layer reported a valid delta.
 func (e *Compose) Step(round int, rng *rand.Rand) State {
 	first := e.layers[0].Step(round, rng)
-	if e.out.EdgeUp == nil {
+	if e.out.EdgeUp.IsZero() {
 		e.out = first.Clone()
 	} else {
-		copy(e.out.EdgeUp, first.EdgeUp)
-		copy(e.out.AgentUp, first.AgentUp)
+		e.out.EdgeUp.Copy(first.EdgeUp)
+		e.out.AgentUp.Copy(first.AgentUp)
 	}
 	out := e.out
+	edges, agents := e.edges[:0], e.agents[:0]
+	allOK := true
+	collect := func(l Environment) {
+		de, isDelta := l.(DeltaEnvironment)
+		if !isDelta {
+			allOK = false
+			return
+		}
+		ed, ag, ok := de.StepDeltas()
+		if !ok {
+			allOK = false
+			return
+		}
+		edges = append(edges, ed...)
+		agents = append(agents, ag...)
+	}
+	collect(e.layers[0])
 	for _, l := range e.layers[1:] {
 		s := l.Step(round, rng)
-		for i := range out.EdgeUp {
-			out.EdgeUp[i] = out.EdgeUp[i] && s.EdgeUp[i]
-		}
-		for i := range out.AgentUp {
-			out.AgentUp[i] = out.AgentUp[i] && s.AgentUp[i]
-		}
+		out.EdgeUp.And(s.EdgeUp)
+		out.AgentUp.And(s.AgentUp)
+		collect(l)
 	}
+	e.deltaState = deltaState{edges: edges, agents: agents, ok: allOK}
 	return out
 }
 

@@ -38,7 +38,7 @@ func TestMarkovLinksBurstiness(t *testing.T) {
 		runs, cur, total := 0, 0, 0
 		for r := 0; r < 4000; r++ {
 			s := e.Step(r, rng)
-			if s.EdgeUp[0] {
+			if s.EdgeUp.Get(0) {
 				cur++
 			} else if cur > 0 {
 				runs++

@@ -15,6 +15,12 @@
 // measures empirically whether each Q_e held infinitely often — i.e.
 // whether the run actually satisfied (2) — so experiments can correlate
 // convergence with the assumption the correctness theorem needs.
+//
+// Masks are bit-packed (internal/bitset), and environments whose
+// transitions are sparse additionally implement DeltaEnvironment: they
+// report, per Step, exactly which mask entries may have changed since the
+// previous Step. Engines use that changed-id stream to keep round cost
+// proportional to what changed rather than to graph size.
 package env
 
 import (
@@ -22,64 +28,52 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
 // State is one environment state G restricted to what affects agents: which
-// edges are available and which agents are enabled. Slices are owned by the
+// edges are available and which agents are enabled. Masks are owned by the
 // environment and must be treated as read-only by consumers; engines copy
-// what they retain.
+// what they retain. A zero EdgeUp/AgentUp mask means "everything up" —
+// the same absent-mask convention graph.ComponentsInto uses.
 type State struct {
-	EdgeUp  []bool // indexed by edge id of the underlying graph
-	AgentUp []bool // indexed by agent id
+	EdgeUp  bitset.Set // indexed by edge id of the underlying graph
+	AgentUp bitset.Set // indexed by agent id
 }
 
 // AllUp returns a State with every edge and agent enabled.
 func AllUp(g *graph.Graph) State {
-	s := State{EdgeUp: make([]bool, g.M()), AgentUp: make([]bool, g.N())}
-	for i := range s.EdgeUp {
-		s.EdgeUp[i] = true
-	}
-	for i := range s.AgentUp {
-		s.AgentUp[i] = true
-	}
-	return s
+	return State{EdgeUp: bitset.NewAllSet(g.M()), AgentUp: bitset.NewAllSet(g.N())}
+}
+
+// EdgeIsUp reports whether edge id is up (absent mask means all up).
+func (s State) EdgeIsUp(id int) bool { return s.EdgeUp.IsZero() || s.EdgeUp.Get(id) }
+
+// AgentIsUp reports whether agent a is up (absent mask means all up).
+func (s State) AgentIsUp(a int) bool { return s.AgentUp.IsZero() || s.AgentUp.Get(a) }
+
+// Usable reports whether edge id with endpoints a and b can carry an
+// interaction: the edge and both endpoints are up.
+func (s State) Usable(id, a, b int) bool {
+	return s.EdgeIsUp(id) && s.AgentIsUp(a) && s.AgentIsUp(b)
 }
 
 // Clone deep-copies the state.
 func (s State) Clone() State {
-	c := State{EdgeUp: make([]bool, len(s.EdgeUp)), AgentUp: make([]bool, len(s.AgentUp))}
-	copy(c.EdgeUp, s.EdgeUp)
-	copy(c.AgentUp, s.AgentUp)
-	return c
+	return State{EdgeUp: s.EdgeUp.Clone(), AgentUp: s.AgentUp.Clone()}
 }
 
 // UpEdgeCount returns the number of available edges.
-func (s State) UpEdgeCount() int {
-	n := 0
-	for _, up := range s.EdgeUp {
-		if up {
-			n++
-		}
-	}
-	return n
-}
+func (s State) UpEdgeCount() int { return s.EdgeUp.Count() }
 
 // UpAgentCount returns the number of enabled agents.
-func (s State) UpAgentCount() int {
-	n := 0
-	for _, up := range s.AgentUp {
-		if up {
-			n++
-		}
-	}
-	return n
-}
+func (s State) UpAgentCount() int { return s.AgentUp.Count() }
 
 // stateBuf is the reusable State every environment hands out from Step.
-// The package contract (see State) is that consumers treat the slices as
+// The package contract (see State) is that consumers treat the masks as
 // read-only and copy what they retain, so an environment can repair one
-// buffer per round instead of allocating two slices — which keeps the
+// buffer per round instead of allocating two masks — which keeps the
 // simulation engines' round loops allocation-free.
 type stateBuf struct {
 	s State
@@ -88,16 +82,12 @@ type stateBuf struct {
 // allUp returns the buffer reset to every edge and agent enabled,
 // allocating only on first use.
 func (b *stateBuf) allUp(g *graph.Graph) State {
-	if b.s.EdgeUp == nil {
+	if b.s.EdgeUp.IsZero() {
 		b.s = AllUp(g)
 		return b.s
 	}
-	for i := range b.s.EdgeUp {
-		b.s.EdgeUp[i] = true
-	}
-	for i := range b.s.AgentUp {
-		b.s.AgentUp[i] = true
-	}
+	b.s.EdgeUp.SetAll()
+	b.s.AgentUp.SetAll()
 	return b.s
 }
 
@@ -105,9 +95,7 @@ func (b *stateBuf) allUp(g *graph.Graph) State {
 // disabled.
 func (b *stateBuf) edgesDown(g *graph.Graph) State {
 	s := b.allUp(g)
-	for i := range s.EdgeUp {
-		s.EdgeUp[i] = false
-	}
+	s.EdgeUp.ClearAll()
 	return s
 }
 
@@ -128,14 +116,66 @@ type Environment interface {
 	Step(round int, rng *rand.Rand) State
 }
 
+// DeltaEnvironment is implemented by environments whose per-round mask
+// transitions are sparse. StepDeltas reports the ids whose mask entries
+// MAY have changed between the previous Step's State and the most recent
+// one — a superset of the actual flips is allowed (consumers recompute
+// the listed entries), a miss is not. The returned slices are owned by
+// the environment and valid only until the next Step.
+//
+// ok is false when the environment cannot bound the change set for the
+// round just produced (the first Step of a run, a phase that rewrote the
+// whole mask, a mid-run parameter change): consumers must then fall back
+// to a full rescan. Environments with inherently dense transitions
+// (Adversary, Mobile) simply do not implement the interface.
+type DeltaEnvironment interface {
+	Environment
+	StepDeltas() (edges, agents []int, ok bool)
+}
+
+// deltaState is the StepDeltas bookkeeping shared by the delta-capable
+// environments: each Step records its change lists here.
+type deltaState struct {
+	edges, agents []int
+	ok            bool
+}
+
+func (d *deltaState) StepDeltas() (edges, agents []int, ok bool) {
+	return d.edges, d.agents, d.ok
+}
+
+// mergeUnion appends to dst the ascending union of two ascending id lists.
+func mergeUnion(dst, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
 // --- Static: the benign environment ---
 
 // Static keeps every edge and agent up forever: the "benign conditions"
 // under which the paper's problems are easy and the algorithms run at full
 // speed.
 type Static struct {
-	g *graph.Graph
-	s State
+	g      *graph.Graph
+	s      State
+	primed bool
+	deltaState
 }
 
 // NewStatic builds a Static environment over g.
@@ -148,7 +188,13 @@ func (e *Static) Name() string { return "static" }
 func (e *Static) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
-func (e *Static) Step(int, *rand.Rand) State { return e.s }
+func (e *Static) Step(int, *rand.Rand) State {
+	// Nothing ever changes: deltas are exact and empty from the second
+	// Step on (the first Step has no predecessor to be a delta against).
+	e.deltaState = deltaState{ok: e.primed}
+	e.primed = true
+	return e.s
+}
 
 // --- EdgeChurn: independent random link availability ---
 
@@ -167,7 +213,9 @@ func (e *Static) Step(int, *rand.Rand) State { return e.s }
 // instead of rewriting the whole mask. At P = 0.999 on a 10⁶-edge graph
 // that is ~10³ mask writes per round instead of 10⁶, which is what makes
 // large-N churn rounds affordable (E15). The sampled distribution is
-// exactly iid Bernoulli(P) per edge per round.
+// exactly iid Bernoulli(P) per edge per round. StepDeltas reports the
+// union of the previous and current minority lists — the only entries
+// whose value can differ between the two rounds.
 type EdgeChurn struct {
 	g *graph.Graph
 	// P is the per-round, per-edge availability probability.
@@ -182,8 +230,10 @@ type EdgeChurn struct {
 	// fill value the rest of the mask holds (true when P ≥ 0.5); if P is
 	// changed mid-run across 0.5 the mask is refilled once.
 	flips      []int
+	prevFlips  []int
 	majority   bool
 	maskPrimed bool
+	deltaState
 }
 
 // NewEdgeChurn builds an EdgeChurn environment over g.
@@ -244,25 +294,30 @@ func (e *EdgeChurn) Step(_ int, rng *rand.Rand) State {
 		q = e.P
 	}
 	var s State
+	steady := true
 	if !e.maskPrimed || majority != e.majority {
 		// First round (or P crossed ½): fill the whole mask once.
 		s = e.buf.allUp(e.g)
-		for i := range s.EdgeUp {
-			s.EdgeUp[i] = majority
-		}
+		s.EdgeUp.FillValue(majority)
 		e.majority = majority
 		e.maskPrimed = true
 		e.flips = e.flips[:0]
+		steady = false
 	} else {
 		// Steady state: undo only last round's minority entries.
 		s = e.buf.s
 		for _, id := range e.flips {
-			s.EdgeUp[id] = majority
+			s.EdgeUp.SetTo(id, majority)
 		}
 	}
-	e.flips = sampleFlips(e.flips, len(s.EdgeUp), q, e.sub)
+	e.prevFlips = append(e.prevFlips[:0], e.flips...)
+	e.flips = sampleFlips(e.flips, e.g.M(), q, e.sub)
 	for _, id := range e.flips {
-		s.EdgeUp[id] = !majority
+		s.EdgeUp.SetTo(id, !majority)
+	}
+	e.deltaState = deltaState{
+		edges: mergeUnion(e.edges[:0], e.prevFlips, e.flips),
+		ok:    steady,
 	}
 	return s
 }
@@ -272,13 +327,17 @@ func (e *EdgeChurn) Step(_ int, rng *rand.Rand) State {
 // PowerLoss disables each agent independently with probability P each round
 // (battery exhaustion, duty cycling). A disabled agent takes no steps and
 // keeps its state, exactly as §1.1 prescribes. Edges are up, but an edge is
-// unusable unless both endpoints are up.
+// unusable unless both endpoints are up. The per-agent Bernoulli draws are
+// compared against the previous round's mask entry, so StepDeltas reports
+// the exact set of agents whose up-ness flipped.
 type PowerLoss struct {
 	g *graph.Graph
 	// P is the per-round, per-agent outage probability.
 	P float64
 
-	buf stateBuf
+	buf    stateBuf
+	primed bool
+	deltaState
 }
 
 // NewPowerLoss builds a PowerLoss environment over g.
@@ -292,10 +351,28 @@ func (e *PowerLoss) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
 func (e *PowerLoss) Step(_ int, rng *rand.Rand) State {
-	s := e.buf.allUp(e.g)
-	for i := range s.AgentUp {
-		s.AgentUp[i] = rng.Float64() >= e.P
+	var s State
+	if !e.primed {
+		s = e.buf.allUp(e.g)
+		n := s.AgentUp.Len()
+		for i := 0; i < n; i++ {
+			s.AgentUp.SetTo(i, rng.Float64() >= e.P)
+		}
+		e.primed = true
+		e.deltaState = deltaState{ok: false}
+		return s
 	}
+	s = e.buf.s
+	agents := e.agents[:0]
+	n := s.AgentUp.Len()
+	for i := 0; i < n; i++ {
+		v := rng.Float64() >= e.P
+		if v != s.AgentUp.Get(i) {
+			s.AgentUp.SetTo(i, v)
+			agents = append(agents, i)
+		}
+	}
+	e.deltaState = deltaState{agents: agents, ok: true}
 	return s
 }
 
@@ -308,6 +385,11 @@ func (e *PowerLoss) Step(_ int, rng *rand.Rand) State {
 // cannot communicate with each other". During the partition, each block is
 // a group that must behave as if it were the entire system —
 // self-similarity made observable (experiment E5).
+//
+// The inter-block cut set is static, so it is computed once as a bitset:
+// phase transitions are two word-level mask operations and StepDeltas
+// reports the cut list exactly on transition rounds and nothing within a
+// phase.
 type Partitioner struct {
 	g *graph.Graph
 	// Parts is the number of blocks during the partitioned phase (≥ 2).
@@ -315,7 +397,12 @@ type Partitioner struct {
 	// HealthyRounds and PartitionRounds are the phase lengths.
 	HealthyRounds, PartitionRounds int
 
-	buf stateBuf
+	buf      stateBuf
+	cutMask  bitset.Set
+	cutIDs   []int
+	prevPart bool
+	primed   bool
+	deltaState
 }
 
 // NewPartitioner builds a Partitioner with the given phase structure.
@@ -352,17 +439,45 @@ func (e *Partitioner) Block(a int) int {
 	return a / per
 }
 
-// Step implements Environment.
-func (e *Partitioner) Step(round int, _ *rand.Rand) State {
-	s := e.buf.allUp(e.g)
-	if !e.Partitioned(round) {
-		return s
+func (e *Partitioner) ensureCut() {
+	if !e.cutMask.IsZero() {
+		return
 	}
-	for id, edge := range e.g.Edges() {
+	e.cutMask = bitset.New(e.g.M())
+	for id, edge := range e.g.EdgesView() {
 		if e.Block(edge.A) != e.Block(edge.B) {
-			s.EdgeUp[id] = false
+			e.cutMask.Set(id)
+			e.cutIDs = append(e.cutIDs, id)
 		}
 	}
+}
+
+// Step implements Environment.
+func (e *Partitioner) Step(round int, _ *rand.Rand) State {
+	part := e.Partitioned(round)
+	var s State
+	if !e.primed {
+		s = e.buf.allUp(e.g)
+		e.ensureCut()
+		if part {
+			s.EdgeUp.AndNot(e.cutMask)
+		}
+		e.primed = true
+		e.deltaState = deltaState{ok: false}
+	} else {
+		s = e.buf.s
+		if part != e.prevPart {
+			if part {
+				s.EdgeUp.AndNot(e.cutMask)
+			} else {
+				s.EdgeUp.Or(e.cutMask)
+			}
+			e.deltaState = deltaState{edges: e.cutIDs, ok: true}
+		} else {
+			e.deltaState = deltaState{ok: true}
+		}
+	}
+	e.prevPart = part
 	return s
 }
 
@@ -376,6 +491,9 @@ func (e *Partitioner) Step(round int, _ *rand.Rand) State {
 // correctness theorem still applies. Setting Window ≤ 0 removes the budget
 // and lets the adversary starve edges forever — the configuration used to
 // demonstrate what happens when (2) is violated (experiment E12).
+//
+// The adversary rescoring is inherently O(M) per round (it re-ranks every
+// edge), so it does not implement DeltaEnvironment.
 type Adversary struct {
 	g *graph.Graph
 	// CutFraction in [0,1] is the fraction of edges cut each round.
@@ -452,15 +570,15 @@ func (e *Adversary) Step(round int, rng *rand.Rand) State {
 			}
 		}
 		order[i], order[best] = order[best], order[i]
-		s.EdgeUp[order[i].id] = false
+		s.EdgeUp.Clear(order[i].id)
 	}
 	// Fairness budget: re-enable any edge starved past the window.
 	if e.Window > 0 {
 		for id := 0; id < m; id++ {
-			if s.EdgeUp[id] {
+			if s.EdgeUp.Get(id) {
 				e.lastEnabled[id] = round
 			} else if round-e.lastEnabled[id] >= e.Window {
-				s.EdgeUp[id] = true
+				s.EdgeUp.Set(id)
 				e.lastEnabled[id] = round
 			}
 		}
@@ -479,6 +597,8 @@ type Starver struct {
 	g       *graph.Graph
 	starved map[int]bool
 	buf     stateBuf
+	primed  bool
+	deltaState
 }
 
 // NewStarver builds a Starver that permanently disables the given edge ids.
@@ -498,11 +618,17 @@ func (e *Starver) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
 func (e *Starver) Step(int, *rand.Rand) State {
-	s := e.buf.allUp(e.g)
-	for id := range e.starved {
-		s.EdgeUp[id] = false
+	if !e.primed {
+		s := e.buf.allUp(e.g)
+		for id := range e.starved {
+			s.EdgeUp.Clear(id)
+		}
+		e.primed = true
+		e.deltaState = deltaState{ok: false}
+		return s
 	}
-	return s
+	e.deltaState = deltaState{ok: true}
+	return e.buf.s
 }
 
 // --- RoundRobin: minimal fairness ---
@@ -511,14 +637,20 @@ func (e *Starver) Step(int, *rand.Rand) State {
 // list. It is the weakest environment satisfying (2) over the whole graph:
 // every Q_e holds infinitely often, but only one group of two agents can
 // collaborate at a time. It bounds the slow extreme of the adaptivity
-// spectrum in E4/E11.
+// spectrum in E4/E11. StepDeltas is exact: at most the previous and the
+// current enabled edge change per round.
 type RoundRobin struct {
 	g   *graph.Graph
 	buf stateBuf
+
+	prevEdge int
+	primed   bool
+	deltaBuf [2]int
+	deltaState
 }
 
 // NewRoundRobin builds a RoundRobin environment over g.
-func NewRoundRobin(g *graph.Graph) *RoundRobin { return &RoundRobin{g: g} }
+func NewRoundRobin(g *graph.Graph) *RoundRobin { return &RoundRobin{g: g, prevEdge: -1} }
 
 // Name implements Environment.
 func (e *RoundRobin) Name() string { return "round-robin(1 edge/round)" }
@@ -528,10 +660,40 @@ func (e *RoundRobin) Graph() *graph.Graph { return e.g }
 
 // Step implements Environment.
 func (e *RoundRobin) Step(round int, _ *rand.Rand) State {
-	s := e.buf.edgesDown(e.g)
+	cur := -1
 	if e.g.M() > 0 {
-		s.EdgeUp[round%e.g.M()] = true
+		cur = round % e.g.M()
 	}
+	var s State
+	if !e.primed {
+		s = e.buf.edgesDown(e.g)
+		if cur >= 0 {
+			s.EdgeUp.Set(cur)
+		}
+		e.primed = true
+		e.deltaState = deltaState{ok: false}
+	} else {
+		s = e.buf.s
+		if e.prevEdge >= 0 && e.prevEdge != cur {
+			s.EdgeUp.Clear(e.prevEdge)
+		}
+		if cur >= 0 {
+			s.EdgeUp.Set(cur)
+		}
+		d := e.deltaBuf[:0]
+		lo, hi := e.prevEdge, cur
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo >= 0 {
+			d = append(d, lo)
+		}
+		if hi >= 0 && hi != lo {
+			d = append(d, hi)
+		}
+		e.deltaState = deltaState{edges: d, ok: true}
+	}
+	e.prevEdge = cur
 	return s
 }
 
@@ -541,7 +703,9 @@ func (e *RoundRobin) Step(round int, _ *rand.Rand) State {
 // unit square (random-waypoint) and can communicate exactly when within
 // Radius of each other. The underlying graph must be complete — edges
 // correspond to agent pairs — and availability is derived from positions,
-// so connectivity waxes and wanes as agents travel.
+// so connectivity waxes and wanes as agents travel. Every pairwise
+// distance is recomputed per round, so Mobile does not implement
+// DeltaEnvironment.
 type Mobile struct {
 	g      *graph.Graph
 	Radius float64
@@ -607,7 +771,7 @@ func (e *Mobile) Step(_ int, rng *rand.Rand) State {
 		edge := e.g.Edge(id)
 		dx := e.pos[edge.A][0] - e.pos[edge.B][0]
 		dy := e.pos[edge.A][1] - e.pos[edge.B][1]
-		s.EdgeUp[id] = math.Hypot(dx, dy) <= e.Radius
+		s.EdgeUp.SetTo(id, math.Hypot(dx, dy) <= e.Radius)
 	}
 	return s
 }
@@ -619,34 +783,92 @@ func (e *Mobile) Step(_ int, rng *rand.Rand) State {
 // assumption (2) into a measurable quantity: a run over which some edge
 // never (or too rarely) came up is outside the theorem's hypotheses, and
 // experiments report it as such.
+//
+// The probe is transition-based: it stores the previous round's mask and
+// updates per-edge statistics only where the mask changed. Observe finds
+// the changes itself with a word-level XOR scan (O(M/64 + flips) per
+// round); ObserveDelta takes the caller's changed-id list and is O(flips)
+// — the path the simulation engine uses when the environment reports
+// exact deltas. Up-time and gap figures are reconstructed lazily at query
+// time from run boundaries, so steady state costs nothing per edge.
 type FairnessProbe struct {
 	rounds int
-	upFor  []int
-	lastUp []int
-	maxGap []int
+	prev   bitset.Set // up-ness as of the last observed round
+	// Per-edge run bookkeeping. For an edge currently up, runStart is the
+	// round its current up-run began; accUp counts up-rounds in completed
+	// runs only. lastUpEnd is the last round of the most recent completed
+	// up-run (0 if none), and maxGap the largest closed gap — the gap
+	// still open at query time is folded in by the accessors.
+	accUp       []int
+	runStart    []int
+	lastUpEnd   []int
+	maxGap      []int
+	diffScratch []int
 }
 
 // NewFairnessProbe builds a probe for a graph with m edges.
 func NewFairnessProbe(m int) *FairnessProbe {
-	return &FairnessProbe{upFor: make([]int, m), lastUp: make([]int, m), maxGap: make([]int, m)}
+	return &FairnessProbe{
+		prev:      bitset.New(m),
+		accUp:     make([]int, m),
+		runStart:  make([]int, m),
+		lastUpEnd: make([]int, m),
+		maxGap:    make([]int, m),
+		// Worst-case diff capacity up front: the round-1 full diff (every
+		// up edge flips from the all-clear initial state) must not grow
+		// the scratch by repeated doubling — warm sweep cells build a
+		// fresh probe per run, so that growth would recur per cell.
+		diffScratch: make([]int, 0, m),
+	}
 }
 
-// Observe records one environment state.
+// transition records that edge id flipped to nowUp at round r.
+func (p *FairnessProbe) transition(id int, nowUp bool, r int) {
+	if nowUp {
+		if gap := r - p.lastUpEnd[id]; gap > p.maxGap[id] {
+			p.maxGap[id] = gap
+		}
+		p.runStart[id] = r
+	} else {
+		p.accUp[id] += r - p.runStart[id]
+		p.lastUpEnd[id] = r - 1
+	}
+}
+
+// Observe records one environment state, finding the changed edges by a
+// word-level diff against the previous round.
 func (p *FairnessProbe) Observe(s State) {
 	p.rounds++
-	for id, up := range s.EdgeUp {
-		if up {
-			if gap := p.rounds - p.lastUp[id]; gap > p.maxGap[id] {
-				p.maxGap[id] = gap
+	r := p.rounds
+	if s.EdgeUp.IsZero() {
+		// Absent mask: everything up. Flip any edge currently tracked down.
+		for id := 0; id < p.prev.Len(); id++ {
+			if !p.prev.Get(id) {
+				p.transition(id, true, r)
+				p.prev.Set(id)
 			}
-			p.lastUp[id] = p.rounds
-			p.upFor[id]++
 		}
+		return
 	}
-	// Edges that have never been up carry an implicit growing gap.
-	for id := range p.lastUp {
-		if gap := p.rounds - p.lastUp[id]; gap > p.maxGap[id] {
-			p.maxGap[id] = gap
+	p.diffScratch = s.EdgeUp.AppendDiff(p.prev, p.diffScratch[:0])
+	for _, id := range p.diffScratch {
+		p.transition(id, s.EdgeUp.Get(id), r)
+	}
+	p.prev.Copy(s.EdgeUp)
+}
+
+// ObserveDelta records one environment state given the caller's list of
+// edge ids that may have changed since the previous observed state. The
+// list may include ids that did not actually change; it must not omit any
+// that did.
+func (p *FairnessProbe) ObserveDelta(s State, touchedEdges []int) {
+	p.rounds++
+	r := p.rounds
+	for _, id := range touchedEdges {
+		nowUp := s.EdgeUp.IsZero() || s.EdgeUp.Get(id)
+		if nowUp != p.prev.Get(id) {
+			p.transition(id, nowUp, r)
+			p.prev.SetTo(id, nowUp)
 		}
 	}
 }
@@ -654,25 +876,43 @@ func (p *FairnessProbe) Observe(s State) {
 // Rounds returns how many states were observed.
 func (p *FairnessProbe) Rounds() int { return p.rounds }
 
+// upFor returns the number of observed rounds edge id was available.
+func (p *FairnessProbe) upFor(id int) int {
+	n := p.accUp[id]
+	if p.prev.Get(id) {
+		n += p.rounds - p.runStart[id] + 1
+	}
+	return n
+}
+
 // UpFraction returns the fraction of observed rounds in which edge id was
 // available.
 func (p *FairnessProbe) UpFraction(id int) float64 {
 	if p.rounds == 0 {
 		return 0
 	}
-	return float64(p.upFor[id]) / float64(p.rounds)
+	return float64(p.upFor(id)) / float64(p.rounds)
 }
 
 // MaxGap returns the longest observed stretch of rounds during which edge
-// id was unavailable.
-func (p *FairnessProbe) MaxGap(id int) int { return p.maxGap[id] }
+// id was unavailable, counting a still-open gap through the last observed
+// round.
+func (p *FairnessProbe) MaxGap(id int) int {
+	g := p.maxGap[id]
+	if !p.prev.Get(id) {
+		if open := p.rounds - p.lastUpEnd[id]; open > g {
+			g = open
+		}
+	}
+	return g
+}
 
 // Starved returns the ids of edges that were never available — witnesses
 // that the run violated assumption (2) for those Q_e.
 func (p *FairnessProbe) Starved() []int {
 	var out []int
-	for id, n := range p.upFor {
-		if n == 0 {
+	for id := range p.accUp {
+		if p.upFor(id) == 0 {
 			out = append(out, id)
 		}
 	}

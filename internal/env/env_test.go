@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
@@ -23,9 +24,9 @@ func TestAllUpAndClone(t *testing.T) {
 	g := graph.Line(4)
 	s := AllUp(g)
 	c := s.Clone()
-	c.EdgeUp[0] = false
-	c.AgentUp[0] = false
-	if !s.EdgeUp[0] || !s.AgentUp[0] {
+	c.EdgeUp.Clear(0)
+	c.AgentUp.Clear(0)
+	if !s.EdgeUp.Get(0) || !s.AgentUp.Get(0) {
 		t.Error("Clone aliases original")
 	}
 }
@@ -165,7 +166,7 @@ func TestStarver(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for r := 0; r < 10; r++ {
 		s := e.Step(r, rng)
-		if s.EdgeUp[id] {
+		if s.EdgeUp.Get(id) {
 			t.Fatal("starved edge came up")
 		}
 		if s.UpEdgeCount() != g.M()-1 {
@@ -224,7 +225,7 @@ func TestMobileConnectivityVaries(t *testing.T) {
 
 func TestFairnessProbeGaps(t *testing.T) {
 	p := NewFairnessProbe(2)
-	mk := func(a, b bool) State { return State{EdgeUp: []bool{a, b}} }
+	mk := func(a, b bool) State { return State{EdgeUp: bitset.FromBools([]bool{a, b})} }
 	p.Observe(mk(true, false))
 	p.Observe(mk(false, false))
 	p.Observe(mk(true, false))
@@ -282,9 +283,9 @@ func TestEdgeChurnIncrementalMatchesScratch(t *testing.T) {
 				want[id] = !majority
 			}
 			for id := range want {
-				if s.EdgeUp[id] != want[id] {
+				if s.EdgeUp.Get(id) != want[id] {
 					t.Fatalf("p=%g round %d: incremental mask[%d]=%v, from-scratch %v",
-						p, round, id, s.EdgeUp[id], want[id])
+						p, round, id, s.EdgeUp.Get(id), want[id])
 				}
 			}
 		}

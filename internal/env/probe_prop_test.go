@@ -1,0 +1,161 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// boolProbe is the pre-bitset reference: it retains the full []bool
+// mask history and answers every FairnessProbe query by a naive O(rounds)
+// scan. The bitset probe's word-diff Observe and the O(changes)
+// ObserveDelta must both agree with it exactly — same fractions, same gap
+// semantics (gaps measured between consecutive up-round indices, the
+// still-open gap folded in), same starvation verdicts.
+type boolProbe struct {
+	m       int
+	history [][]bool // history[r][id]; nil row = absent mask, all up
+}
+
+func (p *boolProbe) observe(mask []bool) {
+	var row []bool
+	if mask != nil {
+		row = make([]bool, p.m)
+		copy(row, mask)
+	}
+	p.history = append(p.history, row)
+}
+
+func (p *boolProbe) up(r, id int) bool { return p.history[r] == nil || p.history[r][id] }
+
+func (p *boolProbe) upFraction(id int) float64 {
+	if len(p.history) == 0 {
+		return 0
+	}
+	n := 0
+	for r := range p.history {
+		if p.up(r, id) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.history))
+}
+
+func (p *boolProbe) maxGap(id int) int {
+	gap, lastUp := 0, 0
+	for r := range p.history {
+		if p.up(r, id) {
+			if g := (r + 1) - lastUp; g > gap {
+				gap = g
+			}
+			lastUp = r + 1
+		}
+	}
+	if lastUp < len(p.history) {
+		if open := len(p.history) - lastUp; open > gap {
+			gap = open
+		}
+	}
+	return gap
+}
+
+func (p *boolProbe) starved(id int) bool {
+	for r := range p.history {
+		if p.up(r, id) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFairnessProbeMatchesBoolReference drives three probes — word-diff
+// Observe, O(changes) ObserveDelta, and the []bool reference — over the
+// same mask sequences (random masks with occasional absent rounds, plus
+// the starvation-prone sticky Markov model) on the golden-matrix seeds,
+// comparing every accessor for every edge at several checkpoints. The
+// ObserveDelta touched lists are deliberately padded with unchanged ids:
+// supersets must be harmless.
+func TestFairnessProbeMatchesBoolReference(t *testing.T) {
+	g := graph.Torus(4, 5)
+	m := g.M()
+	checkpoints := map[int]bool{1: true, 7: true, 50: true, 120: true}
+
+	check := func(t *testing.T, round int, full, delta *FairnessProbe, ref *boolProbe) {
+		t.Helper()
+		for id := 0; id < m; id++ {
+			if a, b, c := full.UpFraction(id), delta.UpFraction(id), ref.upFraction(id); a != c || b != c {
+				t.Fatalf("round %d edge %d: UpFraction full=%v delta=%v ref=%v", round, id, a, b, c)
+			}
+			if a, b, c := full.MaxGap(id), delta.MaxGap(id), ref.maxGap(id); a != c || b != c {
+				t.Fatalf("round %d edge %d: MaxGap full=%v delta=%v ref=%v", round, id, a, b, c)
+			}
+		}
+		want := map[int]bool{}
+		for id := 0; id < m; id++ {
+			if ref.starved(id) {
+				want[id] = true
+			}
+		}
+		for _, p := range []*FairnessProbe{full, delta} {
+			got := p.Starved()
+			if len(got) != len(want) {
+				t.Fatalf("round %d: Starved() = %v, want %d ids", round, got, len(want))
+			}
+			for _, id := range got {
+				if !want[id] {
+					t.Fatalf("round %d: Starved() reports %d, reference disagrees", round, id)
+				}
+			}
+		}
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		full, delta := NewFairnessProbe(m), NewFairnessProbe(m)
+		ref := &boolProbe{m: m}
+		prev := make([]bool, m) // probe initial state: all down
+		var touched []int
+		for round := 1; round <= 120; round++ {
+			var mask []bool
+			switch rng.Intn(5) {
+			case 0: // absent mask round: everything up
+			case 1: // sticky: keep most of the previous round's mask
+				mask = make([]bool, m)
+				copy(mask, prev)
+				for k := 0; k < 2; k++ {
+					id := rng.Intn(m)
+					mask[id] = !mask[id]
+				}
+			default:
+				mask = make([]bool, m)
+				for i := range mask {
+					// Edge 0 starves until late: never up before round 90.
+					mask[i] = rng.Float64() < 0.6 && (i != 0 || round > 90)
+				}
+			}
+			touched = touched[:0]
+			for id := 0; id < m; id++ {
+				nowUp := mask == nil || mask[id]
+				if nowUp != prev[id] {
+					touched = append(touched, id)
+				}
+				prev[id] = nowUp
+			}
+			touched = append(touched, rng.Intn(m), rng.Intn(m)) // superset padding
+
+			s := State{EdgeUp: bitset.FromBools(mask)}
+			full.Observe(s)
+			delta.ObserveDelta(s, touched)
+			ref.observe(mask)
+			if full.Rounds() != round || delta.Rounds() != round {
+				t.Fatalf("round accounting: full=%d delta=%d want %d", full.Rounds(), delta.Rounds(), round)
+			}
+			if checkpoints[round] {
+				check(t, round, full, delta, ref)
+			}
+		}
+		check(t, 120, full, delta, ref)
+	}
+}

@@ -70,6 +70,7 @@ func All(cfg Config) []Section {
 		E9Classification(cfg), E10ModelCheck(cfg), E11Ablation(cfg),
 		E12Fairness(cfg), E13Continuous(cfg), E14EscapePostulate(cfg),
 		E15Scaling(cfg), E16ScenarioMatrix(cfg), E17Dynamics(cfg),
+		E18RoundCost(cfg),
 	}
 }
 
@@ -1231,6 +1232,125 @@ func E15Scaling(cfg Config) Section {
 		ID:    "E15",
 		Title: "Scaling study — 10⁴–10⁵ agents on the sharded engine, both interaction patterns",
 		Claim: "§2.1/§3: the conservation law holds for any partition of the agent multiset — the license to shard the state array; nothing in the methodology is small-N, even at the pairwise-gossip granularity minimum.",
+		Body:  b.String(), ShapeHolds: shape,
+	}
+}
+
+// --- E18: steady-state round cost at 10⁶ agents ---
+
+// E18RoundCost extends the scaling series past E15's 10⁵ ceiling to
+// N = 10⁶ agents, and changes the question: not rounds-to-converge
+// (a 10⁶-ring needs ~N rounds; E15 covers convergence at sizes where it
+// is affordable) but the STEADY-STATE cost of a round once the system is
+// warm. Every cell runs a FIXED number of pairwise rounds at 99.9%
+// availability — the sparse regime where ~0.1% of edges flip per round —
+// on one warm sweep worker, recording wall-clock/round and heap
+// allocs/round. The usable-edge delta index (engine.PairMatcher.Update
+// fed by the environment's flip lists and the dynamics overlay logs),
+// the bitset masks, and the O(changes) fairness probe make index
+// maintenance proportional to changes, so allocs/round must stay FLAT
+// from 10⁴ to 10⁶ (heap traffic tracks changes and per-run bookkeeping,
+// never agents or edges) while ns/round grows only with the matching
+// draw itself — the algorithm's per-round O(usable edges) work, not an
+// artifact of the harness. The quiescent extreme is pinned separately by
+// the matcher benchmarks (a zero-change Update is ~10⁵× cheaper than the
+// O(E) rescan it replaces) and the scaling row is recorded per commit by
+// scripts/bench_record.sh.
+func E18RoundCost(cfg Config) Section {
+	var b strings.Builder
+	rounds := 64
+	type cell struct {
+		family string
+		g      *graph.Graph
+	}
+	cells := []cell{
+		{"ring", graph.Ring(10_000)},
+		{"ring", graph.Ring(100_000)},
+		{"ring", graph.Ring(1_000_000)},
+	}
+	if !cfg.Quick {
+		cells = append(cells, cell{"torus", graph.Torus(1000, 1000)})
+	} else {
+		rounds = 24
+	}
+
+	w := sweep.NewWorker()
+	defer w.Close()
+	shape := true
+	t := metrics.NewTable("graph family", "N", "rounds", "wall-clock",
+		"ns/round", "heap allocs", "allocs/round")
+	var aprFirst, aprLast float64
+	for i, c := range cells {
+		n := c.g.N()
+		cellSpec := sweep.Cell{
+			Env:      env.ChurnDesc(0.999),
+			Problem:  problems.MinDesc(),
+			Topo:     c.family,
+			Graph:    c.g,
+			Mode:     sim.PairwiseMode,
+			InitSeed: int64(n),
+			Opts: sim.Options{Seed: 1, MaxRounds: rounds,
+				Mode: sim.PairwiseMode, Shards: 4},
+		}
+		// Steady state is the subject: the first (untimed) run pays the
+		// one-time engine growth for this size — trackers, masks, the
+		// matcher's O(blocks) index — and the measured second run is the
+		// warm regime the benchmarks pin.
+		if _, err := w.Do(cellSpec); err != nil {
+			shape = false
+			t.AddRowf(c.family, n, "FAIL", "—", "—", "—", "—")
+			continue
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		cr, err := w.Do(cellSpec)
+		runtime.ReadMemStats(&m1)
+		if err != nil || cr.Rounds != rounds || cr.Violations != 0 {
+			shape = false
+			t.AddRowf(c.family, n, "FAIL", "—", "—", "—", "—")
+			continue
+		}
+		allocs := m1.Mallocs - m0.Mallocs
+		apr := float64(allocs) / float64(rounds)
+		if i == 0 {
+			aprFirst = apr
+		}
+		aprLast = apr
+		if c.g.N() == 1_000_000 && cr.Duration > 60*time.Second {
+			shape = false // the headline cell must stay interactive
+		}
+		t.AddRowf(c.family, n, cr.Rounds,
+			cr.Duration.Round(time.Millisecond).String(),
+			cr.Duration.Nanoseconds()/int64(rounds), allocs, fmt.Sprintf("%.1f", apr))
+	}
+	// Flat means "not a function of graph size": across a 100× size range
+	// the per-round allocation count may wiggle with per-run bookkeeping
+	// (result copies, probe, environment setup amortized over the fixed
+	// round budget) but an O(N) or O(E) regression multiplies it by
+	// orders of magnitude.
+	if aprFirst == 0 || aprLast > 10*aprFirst+10 {
+		shape = false
+	}
+	b.WriteString("Steady-state pairwise round cost at 99.9% availability, fixed round\n" +
+		"budget per cell, all cells on one warm sweep worker (engine scratch,\n" +
+		"trackers, matcher index handed between cells). One seed per cell;\n" +
+		"wall-clock and alloc columns are environment-dependent and\n" +
+		"indicative:\n\n")
+	b.WriteString(t.String())
+	b.WriteString("\nAllocs/round is flat from 10⁴ to 10⁶ agents: the round loop touches\n" +
+		"reused buffers only, and the delta index absorbs the ~0.1% of edges\n" +
+		"that flip per round in O(changes) — the masks' word-level diff yields\n" +
+		"exactly the flipped ids, the matcher reexamines only those edges'\n" +
+		"buckets, and the fairness probe advances only touched trackers.\n" +
+		"Ns/round grows with N because a pairwise round genuinely draws a\n" +
+		"random maximal matching over every usable edge — the algorithm's own\n" +
+		"work, which the tree-ordered parallel reconciliation fans out across\n" +
+		"blocks without changing a single drawn bit.\n")
+	return Section{
+		ID:    "E18",
+		Title: "Round-cost study — O(changes) delta-indexed rounds at 10⁶ agents",
+		Claim: "§1/§2.1: the methodology has no small-N assumption — a million-agent system is steppable interactively because steady-state round cost tracks what changed, not the size of the graph.",
 		Body:  b.String(), ShapeHolds: shape,
 	}
 }

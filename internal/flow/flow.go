@@ -143,7 +143,7 @@ func Run(e env.Environment, x0 []float64, opts Options) (*Result, error) {
 			delta[i] = 0
 		}
 		for id, edge := range g.Edges() {
-			if !s.EdgeUp[id] || !s.AgentUp[edge.A] || !s.AgentUp[edge.B] {
+			if !s.Usable(id, edge.A, edge.B) {
 				continue
 			}
 			d := x[edge.B] - x[edge.A]

@@ -3,6 +3,7 @@ package graph
 import (
 	"math/rand"
 	"reflect"
+	"repro/internal/bitset"
 	"testing"
 )
 
@@ -26,8 +27,9 @@ func TestComponentsIntoMatchesComponents(t *testing.T) {
 		for _, masks := range []struct{ e, a []bool }{
 			{edgeUp, agentUp}, {nil, agentUp}, {edgeUp, nil}, {nil, nil},
 		} {
-			want := g.Components(masks.e, masks.a)
-			got := g.ComponentsInto(masks.e, masks.a, &cs)
+			eb, ab := bitset.FromBools(masks.e), bitset.FromBools(masks.a)
+			want := g.Components(eb, ab)
+			got := g.ComponentsInto(eb, ab, &cs)
 			// Compare as [][]int values (got aliases scratch, so compare
 			// before the next query, which invalidates it).
 			if len(got) != len(want) {
@@ -47,11 +49,11 @@ func TestComponentsEmptyGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := g.Components(nil, nil); len(got) != 0 {
+	if got := g.Components(bitset.Set{}, bitset.Set{}); len(got) != 0 {
 		t.Fatalf("empty graph components = %v", got)
 	}
 	var cs ComponentScratch
-	if got := g.ComponentsInto(nil, nil, &cs); len(got) != 0 {
+	if got := g.ComponentsInto(bitset.Set{}, bitset.Set{}, &cs); len(got) != 0 {
 		t.Fatalf("empty graph ComponentsInto = %v", got)
 	}
 }

@@ -15,8 +15,12 @@ package graph
 import (
 	"fmt"
 	"math"
+	mathbits "math/bits"
 	"math/rand"
 	"sort"
+	"sync"
+
+	"repro/internal/bitset"
 )
 
 // Edge is an undirected communication link between two agents, identified
@@ -41,8 +45,14 @@ func (e Edge) String() string { return fmt.Sprintf("%d—%d", e.A, e.B) }
 type Graph struct {
 	n     int
 	edges []Edge
-	adj   [][]int // adjacency as edge indices, per vertex
+	adj   [][]int // adjacency as edge indices, per vertex (flat backing)
 	name  string
+
+	// Edge partitions are pure functions of (edge set, blocks), so they are
+	// computed once per block count and cached on the graph. Graphs are
+	// shared across sweep workers; the mutex makes the cache safe there.
+	partMu sync.Mutex
+	parts  map[int]*EdgePartition
 }
 
 // New builds a graph over n vertices with the given edges. Duplicate and
@@ -53,7 +63,6 @@ func New(name string, n int, edges []Edge) (*Graph, error) {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
 	canon := make([]Edge, 0, len(edges))
-	seen := make(map[Edge]bool, len(edges))
 	for _, e := range edges {
 		e = NewEdge(e.A, e.B)
 		switch {
@@ -61,20 +70,40 @@ func New(name string, n int, edges []Edge) (*Graph, error) {
 			return nil, fmt.Errorf("graph: self-loop at %d", e.A)
 		case e.A < 0 || e.B >= n:
 			return nil, fmt.Errorf("graph: edge %v out of range [0,%d)", e, n)
-		case seen[e]:
-			return nil, fmt.Errorf("graph: duplicate edge %v", e)
 		}
-		seen[e] = true
 		canon = append(canon, e)
 	}
-	sort.Slice(canon, func(i, j int) bool {
+	// Duplicate detection by sort + adjacent compare rather than a map: the
+	// map was the dominant construction cost (and allocation) at 10⁷ edges.
+	less := func(i, j int) bool {
 		if canon[i].A != canon[j].A {
 			return canon[i].A < canon[j].A
 		}
 		return canon[i].B < canon[j].B
-	})
+	}
+	if !sort.SliceIsSorted(canon, less) {
+		sort.Slice(canon, less)
+	}
+	for i := 1; i < len(canon); i++ {
+		if canon[i] == canon[i-1] {
+			return nil, fmt.Errorf("graph: duplicate edge %v", canon[i])
+		}
+	}
 	g := &Graph{n: n, edges: canon, name: name}
+	// Counted two-pass adjacency build over one flat backing array.
+	deg := make([]int, n+1)
+	for _, e := range canon {
+		deg[e.A+1]++
+		deg[e.B+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	flat := make([]int, 2*len(canon))
 	g.adj = make([][]int, n)
+	for v := 0; v < n; v++ {
+		g.adj[v] = flat[deg[v]:deg[v]:deg[v+1]]
+	}
 	for idx, e := range canon {
 		g.adj[e.A] = append(g.adj[e.A], idx)
 		g.adj[e.B] = append(g.adj[e.B], idx)
@@ -108,6 +137,18 @@ func (g *Graph) Edges() []Edge {
 	copy(out, g.edges)
 	return out
 }
+
+// EdgesView returns the graph's edge list without copying. The returned
+// slice is shared and MUST NOT be modified; use it for read-only scans
+// where the O(E) copy of Edges would dominate (delta index rebuilds,
+// per-round mask derivations).
+func (g *Graph) EdgesView() []Edge { return g.edges }
+
+// IncidentEdgeIDs returns the ids of the edges incident to v, ascending.
+// The returned slice is shared and MUST NOT be modified; it is the
+// primitive the usable-edge delta index uses to re-examine exactly the
+// edges an agent flip can affect.
+func (g *Graph) IncidentEdgeIDs(v int) []int { return g.adj[v] }
 
 // Edge returns the edge with the given id.
 func (g *Graph) Edge(id int) Edge { return g.edges[id] }
@@ -151,11 +192,11 @@ func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 // that are marked disabled (they "execute no actions and do not change
 // state").
 //
-// edgeUp may be nil (all edges enabled); agentUp may be nil (all agents
-// up). An edge is usable only when both endpoints are up.
+// edgeUp may be the zero Set (all edges enabled); agentUp may be the zero
+// Set (all agents up). An edge is usable only when both endpoints are up.
 // Each component's member list is sorted; components are ordered by their
 // smallest member, so output is deterministic.
-func (g *Graph) Components(edgeUp, agentUp []bool) [][]int {
+func (g *Graph) Components(edgeUp, agentUp bitset.Set) [][]int {
 	return g.ComponentsInto(edgeUp, agentUp, &ComponentScratch{})
 }
 
@@ -176,7 +217,7 @@ type ComponentScratch struct {
 // until the next call with the same scratch. Output is identical to
 // Components: members sorted ascending, components ordered by smallest
 // member.
-func (g *Graph) ComponentsInto(edgeUp, agentUp []bool, cs *ComponentScratch) [][]int {
+func (g *Graph) ComponentsInto(edgeUp, agentUp bitset.Set, cs *ComponentScratch) [][]int {
 	n := g.n
 	if n == 0 {
 		return [][]int{}
@@ -199,15 +240,27 @@ func (g *Graph) ComponentsInto(edgeUp, agentUp []bool, cs *ComponentScratch) [][
 		}
 		return x
 	}
-	up := func(v int) bool { return agentUp == nil || agentUp[v] }
-	for id, e := range g.edges {
-		if edgeUp != nil && !edgeUp[id] {
-			continue
-		}
-		if up(e.A) && up(e.B) {
+	allAgents := agentUp.IsZero()
+	union := func(e Edge) {
+		if allAgents || (agentUp.Get(e.A) && agentUp.Get(e.B)) {
 			ra, rb := find(e.A), find(e.B)
 			if ra != rb {
 				parent[ra] = rb
+			}
+		}
+	}
+	if edgeUp.IsZero() {
+		for _, e := range g.edges {
+			union(e)
+		}
+	} else {
+		// Word-skip scan: a fully-down region costs one word test per 64
+		// edges, so the union pass is O(up edges + E/64) instead of O(E).
+		for wi, w := range edgeUp.Words() {
+			base := wi << 6
+			for w != 0 {
+				union(g.edges[base+mathbits.TrailingZeros64(w)])
+				w &= w - 1
 			}
 		}
 	}
@@ -272,16 +325,39 @@ type EdgePartition struct {
 	// Boundary lists, in ascending order, the ids of edges whose
 	// endpoints lie in distinct blocks.
 	Boundary []int
+	// Pairs groups the boundary edges by their (ordered) block pair,
+	// sorted by (BI, BJ). Every boundary edge appears in exactly one pair.
+	Pairs []BoundaryPair
+	// Levels is a deterministic schedule for reconciling boundary pairs
+	// in parallel: each entry lists indices into Pairs, and within one
+	// level no two pairs share a block — so the pairs of a level can
+	// claim matches concurrently without touching the same agents. The
+	// schedule is a greedy edge coloring of the block-pair multigraph,
+	// a pure function of (edge set, blocks): it never depends on worker
+	// count, masks, or seeds, which is what keeps parallel reconciliation
+	// bit-identical across GOMAXPROCS and pool sizes.
+	Levels [][]int
+}
+
+// BoundaryPair is the set of boundary edges between one pair of blocks.
+type BoundaryPair struct {
+	BI, BJ int   // owning blocks, BI < BJ
+	Edges  []int // ascending edge ids with one endpoint in each block
 }
 
 // Block returns the block owning the given agent index.
-func (p EdgePartition) Block(agent int) int { return agent / p.BlockSize }
+func (p *EdgePartition) Block(agent int) int { return agent / p.BlockSize }
 
-// PartitionEdges builds the EdgePartition of the graph's edge set for the
+// PartitionEdges returns the EdgePartition of the graph's edge set for the
 // given number of contiguous agent blocks (clamped to [1, N] for N > 0).
 // Every edge id appears in exactly one of the Interior lists or in
 // Boundary, and with blocks == 1 every edge is interior.
-func (g *Graph) PartitionEdges(blocks int) EdgePartition {
+//
+// The result is computed once per block count and cached on the graph
+// (partitions are static: they depend only on the edge set), so warm
+// matcher rebuilds and repeated sweep cells skip the O(E) split. The
+// returned partition is shared — callers must treat it as read-only.
+func (g *Graph) PartitionEdges(blocks int) *EdgePartition {
 	n := g.n
 	if blocks < 1 {
 		blocks = 1
@@ -289,11 +365,16 @@ func (g *Graph) PartitionEdges(blocks int) EdgePartition {
 	if blocks > n && n > 0 {
 		blocks = n
 	}
+	g.partMu.Lock()
+	defer g.partMu.Unlock()
+	if p, ok := g.parts[blocks]; ok {
+		return p
+	}
 	bs := 1
 	if n > 0 {
 		bs = (n + blocks - 1) / blocks
 	}
-	p := EdgePartition{Blocks: blocks, BlockSize: bs, Interior: make([][]int, blocks)}
+	p := &EdgePartition{Blocks: blocks, BlockSize: bs, Interior: make([][]int, blocks)}
 	for id, e := range g.edges {
 		ba, bb := e.A/bs, e.B/bs
 		if ba == bb {
@@ -302,7 +383,67 @@ func (g *Graph) PartitionEdges(blocks int) EdgePartition {
 			p.Boundary = append(p.Boundary, id)
 		}
 	}
+	g.buildPairSchedule(p)
+	if g.parts == nil {
+		g.parts = make(map[int]*EdgePartition)
+	}
+	g.parts[blocks] = p
 	return p
+}
+
+// buildPairSchedule groups p.Boundary by block pair and colors the pair
+// multigraph greedily: pairs are visited in ascending (BI, BJ) order and
+// each takes the smallest level not already holding either of its blocks.
+// By Vizing-style greedy bounds the level count is at most 2·Δ−1 where Δ
+// is the largest number of partner blocks any block has.
+func (g *Graph) buildPairSchedule(p *EdgePartition) {
+	if len(p.Boundary) == 0 {
+		return
+	}
+	bs := p.BlockSize
+	type key struct{ bi, bj int }
+	groups := make(map[key]int, 16) // pair -> index in p.Pairs
+	for _, id := range p.Boundary {
+		e := g.edges[id]
+		k := key{e.A / bs, e.B / bs}
+		pi, ok := groups[k]
+		if !ok {
+			pi = len(p.Pairs)
+			groups[k] = pi
+			p.Pairs = append(p.Pairs, BoundaryPair{BI: k.bi, BJ: k.bj})
+		}
+		p.Pairs[pi].Edges = append(p.Pairs[pi].Edges, id)
+	}
+	sort.Slice(p.Pairs, func(i, j int) bool {
+		if p.Pairs[i].BI != p.Pairs[j].BI {
+			return p.Pairs[i].BI < p.Pairs[j].BI
+		}
+		return p.Pairs[i].BJ < p.Pairs[j].BJ
+	})
+	// Greedy coloring over the sorted pair order.
+	blockLevels := make([][]bool, p.Blocks) // blockLevels[b][l]: block b busy at level l
+	free := func(b, l int) bool {
+		return l >= len(blockLevels[b]) || !blockLevels[b][l]
+	}
+	occupy := func(b, l int) {
+		for len(blockLevels[b]) <= l {
+			blockLevels[b] = append(blockLevels[b], false)
+		}
+		blockLevels[b][l] = true
+	}
+	for pi := range p.Pairs {
+		bi, bj := p.Pairs[pi].BI, p.Pairs[pi].BJ
+		l := 0
+		for !free(bi, l) || !free(bj, l) {
+			l++
+		}
+		occupy(bi, l)
+		occupy(bj, l)
+		for len(p.Levels) <= l {
+			p.Levels = append(p.Levels, nil)
+		}
+		p.Levels[l] = append(p.Levels[l], pi)
+	}
 }
 
 // Connected reports whether the graph (with all edges enabled) is a single
@@ -312,7 +453,7 @@ func (g *Graph) Connected() bool {
 	if g.n == 0 {
 		return true
 	}
-	return len(g.Components(nil, nil)) == 1
+	return len(g.Components(bitset.Set{}, bitset.Set{})) == 1
 }
 
 // Diameter returns the maximum over vertices of shortest-path hop distance,

@@ -184,9 +184,9 @@ var engineGoldens = map[string]string{
 	"min/ring64/pairwise-blocks4/seed1":      "conv=true round=111 rounds=111 steps=218 msgs=436 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",
 	"min/ring64/pairwise-blocks4/seed2":      "conv=true round=94 rounds=94 steps=225 msgs=450 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",
 	"min/ring64/pairwise-blocks4/seed3":      "conv=true round=76 rounds=76 steps=212 msgs=424 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",
-	"sum/complete24/pairwise-blocks3/seed1":  "conv=true round=975 rounds=975 steps=23 msgs=46 viol=0 final=[1380 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0]",
-	"sum/complete24/pairwise-blocks3/seed2":  "conv=true round=940 rounds=940 steps=23 msgs=46 viol=0 final=[1380 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0]",
-	"sum/complete24/pairwise-blocks3/seed3":  "conv=true round=523 rounds=523 steps=23 msgs=46 viol=0 final=[1380 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0]",
+	"sum/complete24/pairwise-blocks3/seed1":  "conv=true round=346 rounds=346 steps=23 msgs=46 viol=0 final=[1380 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0]",
+	"sum/complete24/pairwise-blocks3/seed2":  "conv=true round=775 rounds=775 steps=23 msgs=46 viol=0 final=[1380 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0]",
+	"sum/complete24/pairwise-blocks3/seed3":  "conv=true round=521 rounds=521 steps=23 msgs=46 viol=0 final=[1380 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0]",
 	"min/ring16/no-stop-stability/seed1":     "conv=true round=1 rounds=120 steps=1 msgs=30 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",
 	"min/ring16/no-stop-stability/seed2":     "conv=true round=2 rounds=120 steps=3 msgs=56 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",
 	"min/ring16/no-stop-stability/seed3":     "conv=true round=4 rounds=120 steps=6 msgs=58 viol=0 final=[1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]",

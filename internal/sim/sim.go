@@ -268,11 +268,21 @@ type runner[T any] struct {
 	states []T
 	res    *Result[T]
 
-	// Component-mode scratch.
+	// Component-mode scratch. comps caches the most recent partition π;
+	// compsValid marks it reusable for a quiescent round (no mask entry
+	// changed), which skips the O(E) union-find pass entirely.
 	compScratch graph.ComponentScratch
+	comps       [][]int
+	compsValid  bool
 	jobs        []groupJob[T]
 	beforeArena []T
 	stepFn      func(worker, i int)
+
+	// Changed-id stream scratch: the round's combined touched edge/agent
+	// lists (environment StepDeltas ∪ previous round's dynamics overlay ∪
+	// this round's overlay) and the saved copies of the overlay logs.
+	touchedE, touchedA         []int
+	prevOverlayE, prevOverlayA []int
 
 	// Pairwise-mode scratch: the partitioned matcher (resolved per run
 	// from the Scratch's cache), the round's pair jobs, and the fixed-size
@@ -495,6 +505,16 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 		res.Converged = true
 	}
 
+	// Delta-capable environments report which mask entries each Step may
+	// have changed; the engine folds those ids with the dynamics overlay
+	// logs into one changed-id stream that drives the fairness probe, the
+	// matcher's usable-edge index, and the quiescent-partition reuse —
+	// keeping steady-state round overhead proportional to what changed.
+	delta, _ := e.(env.DeltaEnvironment)
+	r.compsValid = false
+	r.touchedE, r.touchedA = r.touchedE[:0], r.touchedA[:0]
+	r.prevOverlayE, r.prevOverlayA = r.prevOverlayE[:0], r.prevOverlayA[:0]
+
 	rng := r.seeder.Master()
 	round := 0
 	for ; round < maxRounds; round++ {
@@ -508,22 +528,40 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 		// undoes exactly those writes before the environment's next
 		// Step). The probe therefore observes the effective masks.
 		es := e.Step(round, rng)
+		exact := false
+		var envE, envA []int
+		if delta != nil {
+			envE, envA, exact = delta.StepDeltas()
+		}
 		if r.dyn != nil {
 			es = r.dyn.BeginRound(round, es)
 			for _, a := range r.dyn.JustCrashed() {
 				r.frozenVals[a] = r.states[a]
 			}
 		}
-		res.Probe.Observe(es)
+		// Combined touched ids for the effective (post-overlay) masks: the
+		// environment's own flips, plus everything the previous round's
+		// overlay restored at EndRound, plus everything this round's
+		// overlay just suppressed. Only meaningful when exact.
+		r.touchedE, r.touchedA = r.touchedE[:0], r.touchedA[:0]
+		if exact {
+			r.touchedE = append(append(append(r.touchedE, envE...), r.prevOverlayE...), r.curOverlayE()...)
+			r.touchedA = append(append(append(r.touchedA, envA...), r.prevOverlayA...), r.curOverlayA()...)
+		}
+		if exact {
+			res.Probe.ObserveDelta(es, r.touchedE)
+		} else {
+			res.Probe.Observe(es)
+		}
 
 		// Agents transition: groups step concurrently.
 		stepsBefore := res.GroupSteps
 		var activeGroups int
 		switch opts.Mode {
 		case PairwiseMode:
-			activeGroups = r.stepPairs(es, rng)
+			activeGroups = r.stepPairs(es, rng, exact)
 		default:
-			activeGroups = r.stepComponents(es)
+			activeGroups = r.stepComponents(es, exact)
 		}
 
 		// Global monitors: conservation law and variant descent, on the
@@ -549,6 +587,11 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			// every group and matching this round, so its state must still
 			// equal its crash-time snapshot.
 			r.mon.CheckFrozen(round, r.cmp, r.dyn.Frozen(), r.frozenVals, r.states)
+			// EndRound is about to undo this round's overlay writes; copy
+			// the logs first so next round's touched set can cover the
+			// restored entries (the overlay buffers are reused).
+			r.prevOverlayE = append(r.prevOverlayE[:0], r.dyn.OverlayEdges()...)
+			r.prevOverlayA = append(r.prevOverlayA[:0], r.dyn.OverlayAgents()...)
 			r.dyn.EndRound()
 		}
 
@@ -612,6 +655,24 @@ func resolveShards(opt, n int) int {
 	}
 }
 
+// curOverlayE returns this round's dynamics overlay edge log (the edge
+// ids whose up-entries the overlay just suppressed), or nil without a
+// schedule. Valid until EndRound.
+func (r *runner[T]) curOverlayE() []int {
+	if r.dyn == nil {
+		return nil
+	}
+	return r.dyn.OverlayEdges()
+}
+
+// curOverlayA is curOverlayE for agents.
+func (r *runner[T]) curOverlayA() []int {
+	if r.dyn == nil {
+		return nil
+	}
+	return r.dyn.OverlayAgents()
+}
+
 // snapshot returns the current global state multiset as a zero-copy view,
 // invalidated by the next state mutation (or, in the sharded layout, the
 // next snapshot call).
@@ -671,8 +732,17 @@ func (r *runner[T]) classifyStep(before, after []T) (proper, changed bool) {
 // of up agents executes one group step; the worker pool runs components
 // concurrently when the round is large enough (groups are disjoint, so
 // writes never overlap).
-func (r *runner[T]) stepComponents(es env.State) int {
-	comps := r.g.ComponentsInto(es.EdgeUp, es.AgentUp, &r.compScratch)
+func (r *runner[T]) stepComponents(es env.State, exact bool) int {
+	// Quiescent-round memo: when the changed-id stream proves no mask
+	// entry moved since the previous round, the partition is byte-for-byte
+	// the previous one — reuse it and skip the O(E) union-find pass. The
+	// per-group seed draws below still happen in the same partition order,
+	// so the master-stream positions (and hence results) are unchanged.
+	if !exact || len(r.touchedE) > 0 || len(r.touchedA) > 0 || !r.compsValid {
+		r.comps = r.g.ComponentsInto(es.EdgeUp, es.AgentUp, &r.compScratch)
+		r.compsValid = true
+	}
+	comps := r.comps
 
 	r.jobs = r.jobs[:0]
 	arena := r.beforeArena[:0]
@@ -680,7 +750,7 @@ func (r *runner[T]) stepComponents(es env.State) int {
 		// Disabled agents form singleton components that take no action;
 		// any component containing a down agent is necessarily that
 		// singleton (components never join down agents).
-		if len(comp) == 1 && es.AgentUp != nil && !es.AgentUp[comp[0]] {
+		if len(comp) == 1 && !es.AgentUp.IsZero() && !es.AgentUp.Get(comp[0]) {
 			continue
 		}
 		start := len(arena)
@@ -722,17 +792,21 @@ func (r *runner[T]) stepComponents(es env.State) int {
 	return len(r.jobs)
 }
 
-// stepPairs runs one PairwiseMode round: the partitioned matcher draws a
-// random maximal matching over the available edges (per-block interior
-// matchings fan out across the pool, a sequential boundary pass completes
-// maximality — see engine.PairMatcher), then each matched pair executes
-// one PairStep on a private stream seeded in matching order, exactly as
-// component groups do. Master-stream consumption is one draw for the
-// matching seed plus one child-seed draw per matched pair, independent of
-// the state layout and the pool, so results are bit-identical for every
-// Shards/ParallelThreshold/GOMAXPROCS combination.
-func (r *runner[T]) stepPairs(es env.State, rng *rand.Rand) int {
-	matched := r.matcher.Match(es.EdgeUp, es.AgentUp, rng.Int63(), r.pool)
+// stepPairs runs one PairwiseMode round: the round's changed-id stream
+// repairs the matcher's usable-edge index (O(changes) when the stream is
+// exact, one O(E) rescan otherwise), then the partitioned matcher draws a
+// random maximal matching over the usable edges (per-block interior
+// matchings fan out across the pool, level-scheduled boundary pairs
+// complete maximality — see engine.PairMatcher), then each matched pair
+// executes one PairStep on a private stream seeded in matching order,
+// exactly as component groups do. Master-stream consumption is one draw
+// for the matching seed plus one child-seed draw per matched pair,
+// independent of the state layout and the pool, so results are
+// bit-identical for every Shards/ParallelThreshold/GOMAXPROCS
+// combination.
+func (r *runner[T]) stepPairs(es env.State, rng *rand.Rand, exact bool) int {
+	r.matcher.Update(es.EdgeUp, es.AgentUp, r.touchedE, r.touchedA, exact)
+	matched := r.matcher.Match(rng.Int63(), r.pool)
 
 	r.pairJobs = r.pairJobs[:0]
 	for _, id := range matched {

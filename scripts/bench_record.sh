@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Record the steady-state round-scaling benchmarks to BENCH_roundscale.json.
+#
+# Runs BenchmarkSimRoundScale (N ∈ {10⁴, 10⁵, 10⁶} pairwise churn cells
+# on a warm sweep worker, 32 fixed rounds per op — see bench_test.go) and
+# writes per-N ns/round and allocs/round. CI uploads the file as a build
+# artifact, so the scaling row is recorded per commit; the claim to watch
+# is allocs/round staying flat in N (the delta-indexed round path heaps
+# per change and per round, never per agent or per edge), while ns/round
+# grows with the matching draw's O(usable edges).
+#
+# Usage: scripts/bench_record.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file=${1:-BENCH_roundscale.json}
+rounds_per_op=32
+
+out=$(go test -run '^$' -bench 'BenchmarkSimRoundScale$' -benchtime=1x -benchmem .)
+echo "$out"
+
+echo "$out" | awk -v rounds="$rounds_per_op" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  $1 ~ /^BenchmarkSimRoundScale\/N=/ {
+    split($1, parts, "=")
+    sub(/-[0-9]+$/, "", parts[2])   # strip the GOMAXPROCS suffix if present
+    n[++cells] = parts[2]
+    ns[cells] = $3
+    allocs[cells] = $(NF-1)
+  }
+  END {
+    if (cells == 0) { print "bench_record: no BenchmarkSimRoundScale output" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkSimRoundScale\",\n"
+    printf "  \"recorded\": \"%s\",\n", date
+    printf "  \"rounds_per_op\": %d,\n", rounds
+    printf "  \"cells\": [\n"
+    for (i = 1; i <= cells; i++)
+      printf "    {\"n\": %s, \"ns_per_round\": %.1f, \"allocs_per_round\": %.3f}%s\n",
+        n[i], ns[i] / rounds, allocs[i] / rounds, (i < cells ? "," : "")
+    printf "  ]\n}\n"
+  }
+' > "$out_file"
+
+echo "wrote $out_file:"
+cat "$out_file"

@@ -19,10 +19,11 @@
 # O(exchanges) allocation fails loudly. BenchmarkSweepGrid pins the
 # scenario-grid runner's warm-engine contract: one persistent Runner
 # executes a 24-cell pairwise grid per op, so steady-state cells pay only
-# per-run bookkeeping (~36 allocs/cell — Result, probe, env masks,
-# final-state copy; ~856 allocs/op measured, budget 1200, far below the
-# several-thousand a grid whose cells re-paid engine set-up — tracker,
-# matcher, pool, seeder source — would cost).
+# per-run bookkeeping (~40 allocs/cell — Result, probe, env masks,
+# final-state copy; ~978 allocs/op measured after the bitset-mask
+# migration, budget 1200, far below the several-thousand a grid whose
+# cells re-paid engine set-up — tracker, matcher, pool, seeder source —
+# would cost).
 #
 # BenchmarkSimWithDynamics is BenchmarkSimComponentRing64 with an EMPTY
 # dynamics schedule attached and shares its 1600 budget: the dynamics
@@ -31,12 +32,23 @@
 # one-time applier setup. A regression that allocates per round (mask
 # copies, per-event garbage) multiplies the number and fails loudly.
 #
+# BenchmarkSimPairwiseDelta1e5 pins the O(changes) steady-state round
+# path: 64 post-warmup pairwise rounds at N = 10⁵ on a warm sweep worker
+# (availability 0.999, so ~0.1% of edges flip per round and the
+# usable-edge delta index absorbs them incrementally). The fixed seed
+# measures ~256 allocs/op — exclusively per-run bookkeeping (Result,
+# probe, environment, initial/final state copies); the 64 delta-indexed
+# rounds themselves are allocation-free. The budget of 400 sits ~55%
+# above that: a regression that allocates even once per round adds 64
+# and fails, and one that re-pays any O(N) or O(E) buffer per round
+# blows through it by orders of magnitude.
+#
 # Benchmarks run one iteration with a fixed seed, so allocs/op is a stable
 # budget number for the simulator and a bounded-noise one for the runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$' -benchtime=1x -benchmem .)
+out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$|BenchmarkSimPairwiseDelta1e5$' -benchtime=1x -benchmem .)
 echo "$out"
 
 fail=0
@@ -61,4 +73,5 @@ check BenchmarkSimPairwiseSharded4k 1500
 check BenchmarkAsyncRuntimeMin 1200
 check BenchmarkSweepGrid 1200
 check BenchmarkSimWithDynamics 1600
+check BenchmarkSimPairwiseDelta1e5 400
 exit $fail
