@@ -1,0 +1,26 @@
+// Detlint is the repo's determinism & hot-path contract checker: the
+// internal/lint analyzer suite packaged as a vet tool.
+//
+// It is a unitchecker binary — the multichecker form that speaks `go
+// vet`'s driver protocol — so the whole suite runs over the module
+// with:
+//
+//	go build -o bin/detlint ./cmd/detlint
+//	go vet -vettool=$PWD/bin/detlint ./...
+//
+// (vet's -vettool REPLACES the standard analyzers, so CI runs plain
+// `go vet ./...` alongside.) Diagnostics are suppressed per site by
+// `//lint:ignore <analyzer> <justification>` directives; the
+// justification is mandatory and its absence is itself a diagnostic.
+// See internal/lint and DESIGN.md "Invariants as analyzers".
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.All()...)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVetToolSmoke is the multichecker end-to-end test: it builds the
+// detlint binary, lays out a throwaway single-file module with one
+// violation per analyzer (plus one suppressed site), and runs the real
+// `go vet -vettool` pipeline against it — the exact invocation CI uses
+// — expecting vet to fail with each analyzer's diagnostic and to stay
+// silent about the suppressed line.
+func TestVetToolSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not found: %v", err)
+	}
+
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "detlint")
+	if runtime.GOOS == "windows" {
+		tool += ".exe"
+	}
+	build := exec.Command(goBin, "build", "-o", tool, "repro/cmd/detlint")
+	build.Dir = mustModuleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building detlint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "fixturemod")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module fixturemod\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(mod, "fixture.go"), `package fixturemod
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Draw() int {
+	return rand.New(rand.NewSource(1)).Intn(10)
+}
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+//det:hotpath
+func Hot() []int { return make([]int, 8) }
+
+func Suppressed() int64 {
+	//lint:ignore timenow smoke fixture: suppression must silence this line
+	return time.Now().UnixNano()
+}
+`)
+
+	vet := exec.Command(goBin, "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool=detlint passed over a module full of violations\n%s", out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"math/rand.New draws outside",
+		"math/rand.NewSource draws outside",
+		"time.Now reads wall-clock",
+		"range over map m iterates in nondeterministic order",
+		"hotpath Hot: make allocates per call",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("vet output missing %q\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "time.Now reads") != 1 {
+		t.Errorf("suppressed time.Now line still reported:\n%s", text)
+	}
+}
+
+func mustModuleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/detlint → repo root
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -63,6 +63,7 @@ func Snapshot(e env.Environment, values []int, maxRounds int, seed int64) (*Resu
 	if len(values) != g.N() {
 		return nil, fmt.Errorf("baseline: %d values for %d agents", len(values), g.N())
 	}
+	//lint:ignore detrand reference baseline keeps its own golden-pinned stdlib stream; it exists to be compared AGAINST the engines, not to share their substream discipline
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{}
 
@@ -154,6 +155,7 @@ func Flooding(e env.Environment, values []int, maxRounds int, seed int64) (*Resu
 	if len(values) != n {
 		return nil, fmt.Errorf("baseline: %d values for %d agents", len(values), n)
 	}
+	//lint:ignore detrand reference baseline keeps its own golden-pinned stdlib stream; it exists to be compared AGAINST the engines, not to share their substream discipline
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{}
 

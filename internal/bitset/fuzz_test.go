@@ -1,0 +1,86 @@
+package bitset
+
+import (
+	"slices"
+	"testing"
+)
+
+// boolsFromBytes decodes fuzz input into an n-entry bool mask: bit i of
+// the byte stream, truncated/extended to exactly n entries. n itself is
+// derived from the first byte so the fuzzer explores word-boundary
+// lengths (0, 63, 64, 65, ...) as well as arbitrary ones.
+func boolsFromBytes(data []byte, n int) []bool {
+	b := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if i/8 < len(data) {
+			b[i] = data[i/8]&(1<<(uint(i)&7)) != 0
+		}
+	}
+	return b
+}
+
+// FuzzAppendDiff checks AppendDiff against the obvious []bool scan: the
+// ids where two masks differ, ascending.
+func FuzzAppendDiff(f *testing.F) {
+	f.Add(uint16(64), []byte{0xff, 0x00}, []byte{0x0f, 0xf0})
+	f.Add(uint16(1), []byte{1}, []byte{0})
+	f.Add(uint16(130), []byte{}, []byte{0x80})
+	f.Fuzz(func(t *testing.T, nRaw uint16, aRaw, bRaw []byte) {
+		n := int(nRaw) % 1024
+		aBools, bBools := boolsFromBytes(aRaw, n), boolsFromBytes(bRaw, n)
+		a, b := FromBools(aBools), FromBools(bBools)
+
+		var want []int
+		for i := 0; i < n; i++ {
+			if aBools[i] != bBools[i] {
+				want = append(want, i)
+			}
+		}
+
+		got := a.AppendDiff(b, nil)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: AppendDiff = %v, reference scan = %v", n, got, want)
+		}
+		// Diff is symmetric, and appending onto a non-empty dst must
+		// leave the prefix alone.
+		prefix := []int{-1, -2}
+		got2 := b.AppendDiff(a, slices.Clone(prefix))
+		if !slices.Equal(got2[:2], prefix) || !slices.Equal(got2[2:], want) {
+			t.Fatalf("n=%d: reversed AppendDiff onto prefix = %v, want %v + %v", n, got2, prefix, want)
+		}
+	})
+}
+
+// FuzzAppendSelected checks AppendSelected against the obvious []bool
+// scan: ids[pos] for every selected position, ascending by position.
+func FuzzAppendSelected(f *testing.F) {
+	f.Add(uint16(64), []byte{0xff, 0x00})
+	f.Add(uint16(65), []byte{0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(uint16(3), []byte{0x05})
+	f.Fuzz(func(t *testing.T, nRaw uint16, selRaw []byte) {
+		n := int(nRaw) % 1024
+		selBools := boolsFromBytes(selRaw, n)
+		sel := FromBools(selBools)
+
+		// A recognizable id table: ids[pos] = pos*3 + 1, so a wrong
+		// position cannot alias a right one.
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i*3 + 1
+		}
+		var want []int
+		for i := 0; i < n; i++ {
+			if selBools[i] {
+				want = append(want, ids[i])
+			}
+		}
+
+		got := sel.AppendSelected(nil, ids)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: AppendSelected = %v, reference scan = %v", n, got, want)
+		}
+		if c := sel.Count(); c != len(got) {
+			t.Fatalf("n=%d: AppendSelected yielded %d ids, Count() = %d", n, len(got), c)
+		}
+	})
+}

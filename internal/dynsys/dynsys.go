@@ -121,6 +121,7 @@ func Run[T any](sys *System[T], sched Scheduler[T], g0 int, s0 []T, steps int, s
 	if g0 < 0 || g0 >= len(sys.EnvStates) {
 		return nil, fmt.Errorf("dynsys: initial env state %d out of range", g0)
 	}
+	//lint:ignore detrand finite-state dynamic-system explorer with its own golden-pinned trace stream; not on the engine round path
 	rng := rand.New(rand.NewSource(seed))
 	trace := make([]Step[T], 0, steps+1)
 	cur := append([]T(nil), s0...)

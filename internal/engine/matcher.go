@@ -174,6 +174,7 @@ func (m *PairMatcher) usableEdge(id int, edgeUp, agentUp bitset.Set) bool {
 // exact=false declares the change set unbounded and forces a full O(E)
 // rescan. The first Update after construction or a cache revival always
 // rescans, so stale index state cannot leak between runs.
+//det:hotpath
 func (m *PairMatcher) Update(edgeUp, agentUp bitset.Set, touchedEdges, touchedAgents []int, exact bool) {
 	if !m.primed || !exact {
 		m.rebuild(edgeUp, agentUp)
@@ -192,6 +193,7 @@ func (m *PairMatcher) Update(edgeUp, agentUp bitset.Set, touchedEdges, touchedAg
 
 // reexamine recomputes edge id's usability and repairs its bucket bit on
 // change. O(1) per call.
+//det:hotpath
 func (m *PairMatcher) reexamine(id int, edgeUp, agentUp bitset.Set) {
 	now := m.usableEdge(id, edgeUp, agentUp)
 	b, pos := m.bucketOf[id], int(m.bucketPos[id])
@@ -220,9 +222,11 @@ func (m *PairMatcher) rebuild(edgeUp, agentUp bitset.Set) {
 // only run concurrently within one schedule level, whose pairs are
 // block-disjoint by construction — so concurrent matchBucket calls never
 // race.
+//det:hotpath
 func (m *PairMatcher) matchBucket(b int, seed int64) {
 	ids := m.bucketBits[b].AppendSelected(m.work[b][:0], m.bucketIDs[b])
 	rng := m.stream(b, seed)
+	//lint:ignore hotalloc the swap closure captures only ids and never escapes Shuffle, so it stays on the stack; the alloc budget benchmarks pin this path at 0 allocs/round
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	found := m.found[b][:0]
 	for _, id := range ids {

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
+	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/graph"
@@ -265,6 +267,7 @@ func geometricGap(rng *rand.Rand, logOneMinusQ float64, limit int) int {
 // minority edges for one round: each id independently selected with
 // probability q via geometric gap skipping, consuming one draw per
 // selected id (plus one final overshoot draw).
+//det:hotpath
 func sampleFlips(dst []int, m int, q float64, rng *rand.Rand) []int {
 	dst = dst[:0]
 	if q <= 0 || m == 0 {
@@ -283,6 +286,7 @@ func (e *EdgeChurn) Step(_ int, rng *rand.Rand) State {
 	// stream consumption never depends on the mask contents.
 	seed := rng.Int63()
 	if e.sub == nil {
+		//lint:ignore detrand churn sub-stream is golden-pinned to the stdlib source: constructed once, reseeded per round via Seed (one O(607) rebuild per ROUND, amortized — unlike the per-group reseeds FastRand replaced); migrating would re-pin every churn golden
 		e.sub = rand.New(rand.NewSource(seed))
 	} else {
 		e.sub.Seed(seed)
@@ -594,8 +598,13 @@ func (e *Adversary) Step(round int, rng *rand.Rand) State {
 // over a complete graph minus a starved star around the eventual collector
 // cannot terminate, while min converges via alternate routes (E12).
 type Starver struct {
-	g       *graph.Graph
-	starved map[int]bool
+	g *graph.Graph
+	// starved is sorted and deduplicated: detlint's mapiter triage
+	// replaced the original map[int]bool — Clear is commutative so the
+	// produced mask was identical either way, but a deterministic scan
+	// order costs nothing and leaves nothing for the analyzer to argue
+	// about.
+	starved []int
 	buf     stateBuf
 	primed  bool
 	deltaState
@@ -603,11 +612,10 @@ type Starver struct {
 
 // NewStarver builds a Starver that permanently disables the given edge ids.
 func NewStarver(g *graph.Graph, starvedEdges []int) *Starver {
-	m := make(map[int]bool, len(starvedEdges))
-	for _, id := range starvedEdges {
-		m[id] = true
-	}
-	return &Starver{g: g, starved: m}
+	ids := append([]int(nil), starvedEdges...)
+	sort.Ints(ids)
+	ids = slices.Compact(ids)
+	return &Starver{g: g, starved: ids}
 }
 
 // Name implements Environment.
@@ -620,7 +628,7 @@ func (e *Starver) Graph() *graph.Graph { return e.g }
 func (e *Starver) Step(int, *rand.Rand) State {
 	if !e.primed {
 		s := e.buf.allUp(e.g)
-		for id := range e.starved {
+		for _, id := range e.starved {
 			s.EdgeUp.Clear(id)
 		}
 		e.primed = true
@@ -861,6 +869,7 @@ func (p *FairnessProbe) Observe(s State) {
 // edge ids that may have changed since the previous observed state. The
 // list may include ids that did not actually change; it must not omit any
 // that did.
+//det:hotpath
 func (p *FairnessProbe) ObserveDelta(s State, touchedEdges []int) {
 	p.rounds++
 	r := p.rounds

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/token"
+	"reflect"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Directive grammar:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// The directive suppresses the named analyzers' diagnostics on the
+// directive's own line (trailing-comment form) and on the line directly
+// below it (own-line form, the usual one). The justification is
+// MANDATORY and free-form — a directive without one is itself a
+// diagnostic, so every sanctioned exception records why it is
+// sanctioned at the site, greppable as `lint:ignore`.
+//
+// Directives name concrete analyzers; there is deliberately no
+// wildcard. An unknown analyzer name is a diagnostic too (it is almost
+// always a typo that would otherwise silently suppress nothing).
+
+// Directives validates every lint:ignore directive in the package and
+// publishes an Index the other analyzers consult before reporting.
+var Directives = &analysis.Analyzer{
+	Name: "detdirective",
+	Doc: "validate //lint:ignore directives: every suppression must name a known " +
+		"analyzer and carry a non-empty justification",
+	Run:        runDirectives,
+	ResultType: reflect.TypeOf((*Index)(nil)),
+}
+
+// entry is one parsed, well-formed directive.
+type entry struct {
+	analyzers []string
+	reason    string
+}
+
+// Index maps directive positions for one package: file → line → the
+// directives that apply there. Built by the Directives analyzer;
+// consumed through Suppressed.
+type Index struct {
+	fset  *token.FileSet
+	lines map[string]map[int][]entry // filename → directive line → entries
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by a directive on the same line or the line above.
+func (ix *Index) Suppressed(analyzer string, pos token.Pos) bool {
+	p := ix.fset.Position(pos)
+	byLine := ix.lines[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, e := range byLine[line] {
+			for _, a := range e.analyzers {
+				if a == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+var directiveRe = regexp.MustCompile(`^//lint:ignore(\s|$)`)
+
+func runDirectives(pass *analysis.Pass) (any, error) {
+	known := make(map[string]bool)
+	for _, n := range AnalyzerNames() {
+		known[n] = true
+	}
+	ix := &Index{fset: pass.Fset, lines: make(map[string]map[int][]entry)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !directiveRe.MatchString(c.Text) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, "//lint:ignore")
+				// A directive comment runs to end of line, so a fixture's
+				// `// want` expectation can only live inside it; strip it
+				// before parsing. (In production code this merely shortens
+				// a justification that happened to embed the marker.)
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					pass.Reportf(c.Pos(), "lint:ignore directive names no analyzer (want //lint:ignore <analyzer> <justification>)")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				bad := false
+				for _, n := range names {
+					if !known[n] {
+						pass.Reportf(c.Pos(), "lint:ignore names unknown analyzer %q (known: %s)", n, strings.Join(AnalyzerNames(), ", "))
+						bad = true
+					}
+				}
+				if bad {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				if reason == "" {
+					pass.Reportf(c.Pos(), "lint:ignore %s has no justification — the reason string is mandatory", fields[0])
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if ix.lines[p.Filename] == nil {
+					ix.lines[p.Filename] = make(map[int][]entry)
+				}
+				ix.lines[p.Filename][p.Line] = append(ix.lines[p.Filename][p.Line], entry{analyzers: names, reason: reason})
+			}
+		}
+	}
+	return ix, nil
+}

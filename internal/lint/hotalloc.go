@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// HotAlloc is the static counterpart of scripts/check_alloc_budget.sh:
+// inside functions whose doc comment carries the `//det:hotpath`
+// marker, it flags constructs that heap-allocate per call. The alloc
+// budgets catch a regression as a number after it ships; this analyzer
+// names the exact expression before it does.
+//
+// Flagged inside a marked function:
+//
+//   - closure literals (the func value escapes into whatever takes it,
+//     and captured variables move to the heap with it — the reason
+//     bitset exposes Words()/AppendSelected as closure-free forms);
+//   - map and slice composite literals (a fresh backing store per call);
+//   - make and new (ditto, explicit);
+//   - calls into fmt (every fmt call boxes its operands into ...any);
+//   - append to a LOCAL slice declared without capacity in the same
+//     function — growth reallocates per call. Appending to a
+//     caller-provided buffer (parameter, field, or sized local) is the
+//     sanctioned dst-append idiom and is not flagged.
+//
+// The marker is opt-in per function: hot loops earn it when an alloc
+// budget or profile shows they matter, and the annotation then keeps
+// them flat. One-time setup inside a marked function that genuinely
+// must allocate carries //lint:ignore hotalloc with the amortization
+// argument.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-inducing constructs in functions marked //det:hotpath " +
+		"(closures, map/slice literals, make/new, fmt calls, unsized appends)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, Directives},
+	Run:      runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := pass.ResultOf[Directives].(*Index)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || !funcHasHotpathMarker(fd) || isTestFile(pass, fd.Pos()) {
+			return
+		}
+		checkHotBody(pass, ix, fd)
+	})
+	return nil, nil
+}
+
+func checkHotBody(pass *analysis.Pass, ix *Index, fd *ast.FuncDecl) {
+	unsized := unsizedLocalSlices(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			report(pass, ix, e.Pos(), "hotpath %s: closure literal allocates (and moves captures to the heap); hoist it or use a closure-free form", fd.Name.Name)
+			// Keep descending: the closure body runs on the hot path too.
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Type == nil {
+				break
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				report(pass, ix, e.Pos(), "hotpath %s: map literal allocates a fresh table per call", fd.Name.Name)
+			case *types.Slice:
+				report(pass, ix, e.Pos(), "hotpath %s: slice literal allocates a fresh backing array per call", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, ix, fd, e, unsized)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, ix *Index, fd *ast.FuncDecl, call *ast.CallExpr, unsized map[*types.Var]bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch pass.TypesInfo.Uses[id].(type) {
+		case *types.Builtin:
+			switch id.Name {
+			case "make":
+				report(pass, ix, call.Pos(), "hotpath %s: make allocates per call; hoist the buffer into reusable scratch", fd.Name.Name)
+			case "new":
+				report(pass, ix, call.Pos(), "hotpath %s: new allocates per call; hoist the value into reusable scratch", fd.Name.Name)
+			case "append":
+				if len(call.Args) == 0 {
+					return
+				}
+				target, ok := call.Args[0].(*ast.Ident)
+				if !ok {
+					return
+				}
+				if v, ok := pass.TypesInfo.Uses[target].(*types.Var); ok && unsized[v] {
+					report(pass, ix, call.Pos(), "hotpath %s: append to %s, a local slice declared without capacity — growth reallocates; size it or take a caller-provided dst", fd.Name.Name, target.Name)
+				}
+			}
+			return
+		}
+	}
+	if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(pass, ix, call.Pos(), "hotpath %s: fmt.%s boxes operands into ...any and allocates; format outside the hot path", fd.Name.Name, fn.Name())
+	}
+}
+
+// unsizedLocalSlices collects the slice variables declared inside fd
+// with no capacity: `var s []T` with no initializer, or `s := []T{}` /
+// `s = []T{}` forms (empty literal). Slices built with make (any
+// capacity) are already flagged at the make; parameters and fields
+// belong to the caller.
+func unsizedLocalSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	mark := func(id *ast.Ident) {
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, id := range vs.Names {
+					mark(id)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(d.Lhs) != len(d.Rhs) {
+				return true
+			}
+			for i, lhs := range d.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if lit, ok := d.Rhs[i].(*ast.CompositeLit); ok && len(lit.Elts) == 0 {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapIter flags `for range` over map values in deterministic packages.
+// Map iteration order is deliberately randomized by the Go runtime, so
+// any map range on a path that feeds results, draws from a seeded
+// stream, or writes output in visit order breaks bit-identical goldens
+// nondeterministically — the worst kind of breakage, because it shows
+// up only sometimes and never in the diff that caused it.
+//
+// The fix is to iterate a sorted key slice (or a deterministic index
+// like the registry descriptor lists). Sites that are genuinely
+// order-independent — accumulation into a commutative aggregate, bulk
+// delete, building a set that is sorted before use — carry a
+// //lint:ignore mapiter directive whose justification states the
+// order-independence argument.
+var MapIter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flag order-dependent map iteration in deterministic packages; " +
+		"iterate sorted keys or justify order-independence",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, Directives},
+	Run:      runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) (any, error) {
+	if !deterministicScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := pass.ResultOf[Directives].(*Index)
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		if isTestFile(pass, n.Pos()) {
+			return
+		}
+		rs := n.(*ast.RangeStmt)
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		report(pass, ix, rs.Pos(),
+			"range over map %s iterates in nondeterministic order: iterate sorted keys, or //lint:ignore mapiter <why order cannot reach results>",
+			types.ExprString(rs.X))
+	})
+	return nil, nil
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MaskConv enforces the bitset zero-value convention at env.State's
+// boundary. State.EdgeUp / State.AgentUp are bitset.Sets whose ZERO
+// value means "absent mask — everything up" (the nil-[]bool convention
+// the masks inherited). Direct indexing ignores that:
+//
+//	s.EdgeUp.Get(id)   // panics on an absent mask
+//	s.EdgeUp.Len()     // 0 for an absent mask, not the edge count
+//	s.EdgeUp.Count()   // 0 for an absent mask that means ALL up
+//
+// so every read outside internal/env must go through the helpers that
+// encode the convention — State.EdgeIsUp, State.AgentIsUp,
+// State.Usable — or guard the direct access with an IsZero test in the
+// same statement (the one pattern the helpers cannot express: "is this
+// specific agent known-down", which wants absent to read as false).
+var MaskConv = &analysis.Analyzer{
+	Name: "maskconv",
+	Doc: "flag direct Get/Len/Count on env.State's EdgeUp/AgentUp masks outside " +
+		"internal/env; the zero-value = all-up convention requires EdgeIsUp/AgentIsUp/Usable",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, Directives},
+	Run:      runMaskConv,
+}
+
+// envPackage reports whether path is the env package itself (where the
+// helpers live) or its fixture stand-in.
+func envPackage(path string) bool {
+	return path == "repro/internal/env" || path == "env" || strings.HasSuffix(path, "/env")
+}
+
+func runMaskConv(pass *analysis.Pass) (any, error) {
+	if envPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := pass.ResultOf[Directives].(*Index)
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || isTestFile(pass, n.Pos()) {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		method, mask, ok := stateMaskCall(pass, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Get", "Len", "Count":
+		default:
+			return true
+		}
+		if method == "Get" && guardedByIsZero(pass, call, stack) {
+			return true
+		}
+		helper := "EdgeIsUp"
+		if mask == "AgentUp" {
+			helper = "AgentIsUp"
+		}
+		report(pass, ix, call.Pos(),
+			"direct %s on State.%s misreads the absent (zero-value = all-up) mask: use State.%s/Usable, or guard with %s.IsZero() in the same statement",
+			method, mask, helper, mask)
+		return true
+	})
+	return nil, nil
+}
+
+// stateMaskCall matches calls of the shape <expr>.EdgeUp.<m>(...) or
+// <expr>.AgentUp.<m>(...) where <expr> has the env.State named type,
+// returning the method and mask field names.
+func stateMaskCall(pass *analysis.Pass, call *ast.CallExpr) (method, mask string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	field, okField := sel.X.(*ast.SelectorExpr)
+	if !okField {
+		return "", "", false
+	}
+	mask = field.Sel.Name
+	if mask != "EdgeUp" && mask != "AgentUp" {
+		return "", "", false
+	}
+	tv, okType := pass.TypesInfo.Types[field.X]
+	if !okType || !isEnvState(tv.Type) {
+		return "", "", false
+	}
+	return sel.Sel.Name, mask, true
+}
+
+// isEnvState reports whether t is (a pointer to) the named type State
+// from the env package.
+func isEnvState(t types.Type) bool {
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "State" && obj.Pkg() != nil && envPackage(obj.Pkg().Path())
+}
+
+// guardedByIsZero reports whether the innermost enclosing statement of
+// call also calls IsZero on the textually-identical mask selector —
+// the sanctioned guard pattern:
+//
+//	if !es.AgentUp.IsZero() && !es.AgentUp.Get(a) { ... }
+func guardedByIsZero(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	sel := call.Fun.(*ast.SelectorExpr)
+	maskText := types.ExprString(sel.X)
+	var stmt ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		if s, isStmt := stack[i].(ast.Stmt); isStmt {
+			stmt = s
+			break
+		}
+	}
+	if stmt == nil {
+		return false
+	}
+	guarded := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		c, isCall := n.(*ast.CallExpr)
+		if !isCall || guarded {
+			return !guarded
+		}
+		s, isSel := c.Fun.(*ast.SelectorExpr)
+		if isSel && s.Sel.Name == "IsZero" && types.ExprString(s.X) == maskText {
+			guarded = true
+		}
+		return !guarded
+	})
+	return guarded
+}

@@ -1,0 +1,25 @@
+// Fixture for the detrand analyzer: math/rand package-level calls are
+// contract violations; method calls on stream values passed in are the
+// sanctioned idiom; lint:ignore suppresses with a justification.
+package detrand
+
+import "math/rand"
+
+func bad(seed int64) int {
+	src := rand.NewSource(seed) // want `math/rand.NewSource draws outside the seeded substream discipline`
+	r := rand.New(src)          // want `math/rand.New draws outside`
+	_ = rand.Intn(4)            // want `math/rand.Intn draws outside`
+	return r.Intn(10)           // method on a constructed stream: the construction was flagged, not the use
+}
+
+// takesStream is the contract-conforming shape: the stream arrives from
+// a seeded substream, only methods are called.
+func takesStream(rng *rand.Rand) int { return rng.Intn(3) }
+
+//lint:ignore detrand fixture: sanctioned constructor seeded from a pinned substream
+var sanctioned = rand.New(rand.NewSource(1))
+
+func trailingForm() int64 {
+	x := rand.Int63() //lint:ignore detrand fixture: demonstrates the same-line directive form
+	return x
+}

@@ -1,0 +1,15 @@
+// Fixture for the detdirective analyzer: the ignore grammar itself is
+// checked — a directive must name known analyzers and justify itself.
+package directives
+
+//lint:ignore // want `lint:ignore directive names no analyzer`
+var a = 1
+
+//lint:ignore detrand // want `lint:ignore detrand has no justification`
+var b = 2
+
+//lint:ignore nosuch because of a typo // want `lint:ignore names unknown analyzer "nosuch"`
+var c = 3
+
+//lint:ignore detrand,timenow fixture: a valid multi-analyzer directive parses cleanly
+var d = 4

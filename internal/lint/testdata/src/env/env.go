@@ -1,0 +1,29 @@
+// Package env is the maskconv fixture's stand-in for repro/internal/env:
+// a State with EdgeUp/AgentUp mask fields following the zero-value =
+// all-up convention, plus the helpers that encode it. The analyzer
+// matches the State named type by package path suffix, so this fixture
+// exercises exactly the production shape.
+package env
+
+// Mask is a minimal bitset.Set stand-in.
+type Mask struct {
+	bits []uint64
+	n    int
+}
+
+func (m Mask) Get(i int) bool { return m.bits[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (m Mask) Len() int       { return m.n }
+func (m Mask) Count() int     { c := 0; for _, w := range m.bits { _ = w; c++ }; return c }
+func (m Mask) IsZero() bool   { return m.bits == nil && m.n == 0 }
+
+// State mirrors env.State's mask fields.
+type State struct {
+	EdgeUp  Mask
+	AgentUp Mask
+}
+
+func (s State) EdgeIsUp(id int) bool { return s.EdgeUp.IsZero() || s.EdgeUp.Get(id) }
+func (s State) AgentIsUp(a int) bool { return s.AgentUp.IsZero() || s.AgentUp.Get(a) }
+func (s State) Usable(id, a, b int) bool {
+	return s.EdgeIsUp(id) && s.AgentIsUp(a) && s.AgentIsUp(b)
+}

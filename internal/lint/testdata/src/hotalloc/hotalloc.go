@@ -1,0 +1,40 @@
+// Fixture for the hotalloc analyzer: inside //det:hotpath functions,
+// per-call allocation constructs are flagged; unmarked functions and
+// the caller-provided-dst append idiom pass.
+package hotalloc
+
+import "fmt"
+
+//det:hotpath
+func hot(dst []int, ids []int) []int {
+	m := map[int]bool{} // want `hotpath hot: map literal allocates`
+	_ = m
+	s := []int{1, 2} // want `hotpath hot: slice literal allocates`
+	_ = s
+	b := make([]int, 4) // want `hotpath hot: make allocates per call`
+	_ = b
+	p := new(int) // want `hotpath hot: new allocates per call`
+	_ = p
+	fmt.Println(len(dst)) // want `hotpath hot: fmt.Println boxes operands`
+	f := func() {}        // want `hotpath hot: closure literal allocates`
+	f()
+	var grow []int
+	grow = append(grow, 1) // want `hotpath hot: append to grow, a local slice declared without capacity`
+	_ = grow
+	dst = append(dst, ids...) // append to a caller-provided buffer: the dst idiom, not flagged
+	return dst
+}
+
+// cold is unmarked: the same constructs pass.
+func cold() string {
+	_ = map[int]bool{}
+	_ = []int{1}
+	return fmt.Sprintf("x")
+}
+
+//det:hotpath
+func hotSanctioned() []int {
+	//lint:ignore hotalloc fixture: one-time setup amortized over the whole run
+	buf := make([]int, 0, 64)
+	return buf
+}

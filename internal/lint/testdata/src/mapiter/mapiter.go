@@ -1,0 +1,31 @@
+// Fixture for the mapiter analyzer: map ranges are order-nondeterminism
+// in deterministic packages; slice ranges and justified sites pass.
+package mapiter
+
+import "sort"
+
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want `range over map m iterates in nondeterministic order`
+		t += v
+	}
+	return t
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lint:ignore mapiter keys are collected then sorted before any ordered use
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sliceRange(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,35 @@
+// Fixture for the maskconv analyzer: direct mask indexing outside the
+// env package bypasses the zero-value = all-up convention; helpers,
+// IsZero-guarded reads, and justified sites pass.
+package maskconv
+
+import "env"
+
+func bad(s env.State, e int) bool {
+	return s.EdgeUp.Get(e) // want `direct Get on State.EdgeUp misreads the absent`
+}
+
+func badLen(s env.State) int {
+	return s.AgentUp.Len() // want `direct Len on State.AgentUp misreads the absent`
+}
+
+func badCount(s env.State) int {
+	return s.EdgeUp.Count() // want `direct Count on State.EdgeUp misreads the absent`
+}
+
+func badPtr(s *env.State, e int) bool {
+	return s.EdgeUp.Get(e) // want `direct Get on State.EdgeUp misreads the absent`
+}
+
+// guarded is the sanctioned direct-read pattern: the same statement
+// tests IsZero on the same mask, so absent reads as "not known-down".
+func guarded(s env.State, a int) bool {
+	return !s.AgentUp.IsZero() && !s.AgentUp.Get(a)
+}
+
+func viaHelper(s env.State, e int) bool { return s.EdgeIsUp(e) }
+
+func ignored(s env.State, e int) bool {
+	//lint:ignore maskconv fixture: provenance guarantees a non-zero mask here
+	return s.EdgeUp.Get(e)
+}

@@ -1,0 +1,25 @@
+// Fixture for the timenow analyzer: wall-clock reads in library code
+// are flagged; timers/deadlines and justified reporting sites pass.
+package timenow
+
+import "time"
+
+func bad() int64 {
+	return time.Now().UnixNano() // want `time.Now reads wall-clock in library code`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads wall-clock`
+}
+
+func badUntil(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `time.Until reads wall-clock`
+}
+
+// timerOK: scheduling machinery is not a result input.
+func timerOK() *time.Timer { return time.NewTimer(time.Second) }
+
+func ignored() time.Time {
+	//lint:ignore timenow fixture: reporting-only timestamp that never reaches results
+	return time.Now()
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// TimeNow flags wall-clock reads (time.Now, time.Since) in library
+// packages. A result that embeds a wall-clock observation is a function
+// of the machine and the scheduler, not of (seed, partition); the
+// engines must never branch on one. Wall-clock belongs to
+//
+//   - tests and benchmarks (_test.go is always exempt),
+//   - CLI reporting (package main is exempt — printing a duration to a
+//     terminal is what cmd/ is for), and
+//   - explicitly annotated measurement plumbing (the sweep runner's
+//     CellResult.Duration is wall-clock BY CONTRACT and documented as
+//     the one machine-dependent field; it carries the directive).
+//
+// Timers and deadlines (time.NewTimer, context.WithTimeout) are
+// scheduling machinery, not result inputs, and are not flagged.
+var TimeNow = &analysis.Analyzer{
+	Name: "timenow",
+	Doc: "flag time.Now/time.Since outside tests, benchmarks, and CLI reporting; " +
+		"results must not observe wall-clock",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, Directives},
+	Run:      runTimeNow,
+}
+
+func runTimeNow(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := pass.ResultOf[Directives].(*Index)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		if isTestFile(pass, n.Pos()) {
+			return
+		}
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return
+		}
+		if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+			return
+		}
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			report(pass, ix, call.Pos(),
+				"time.%s reads wall-clock in library code: results must be a function of (seed, partition) — move to the CLI/reporting layer or //lint:ignore timenow <why it cannot reach results>",
+				fn.Name())
+		}
+	})
+	return nil, nil
+}

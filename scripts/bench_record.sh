@@ -15,20 +15,34 @@ cd "$(dirname "$0")/.."
 
 out_file=${1:-BENCH_roundscale.json}
 rounds_per_op=32
+# The benchmark's sub-benchmark grid: a cell silently dropping out (a
+# skip, an OOM kill, a renamed sub-benchmark) must fail the record, not
+# produce a shorter file that downstream diffing misreads as a trend.
+expected_cells=3
 
 out=$(go test -run '^$' -bench 'BenchmarkSimRoundScale$' -benchtime=1x -benchmem .)
 echo "$out"
 
-echo "$out" | awk -v rounds="$rounds_per_op" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+echo "$out" | awk -v rounds="$rounds_per_op" -v want="$expected_cells" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   $1 ~ /^BenchmarkSimRoundScale\/N=/ {
     split($1, parts, "=")
     sub(/-[0-9]+$/, "", parts[2])   # strip the GOMAXPROCS suffix if present
-    n[++cells] = parts[2]
+    cells++
+    if (parts[2] !~ /^[0-9]+$/ || $3 !~ /^[0-9.]+$/ || $(NF-1) !~ /^[0-9]+$/ || $NF != "allocs/op") {
+      printf "bench_record: unparseable benchmark line: %s\n", $0 > "/dev/stderr"
+      bad = 1
+      next
+    }
+    n[cells] = parts[2]
     ns[cells] = $3
     allocs[cells] = $(NF-1)
   }
   END {
-    if (cells == 0) { print "bench_record: no BenchmarkSimRoundScale output" > "/dev/stderr"; exit 1 }
+    if (bad) exit 1
+    if (cells != want) {
+      printf "bench_record: got %d BenchmarkSimRoundScale cells, want %d\n", cells, want > "/dev/stderr"
+      exit 1
+    }
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkSimRoundScale\",\n"
     printf "  \"recorded\": \"%s\",\n", date

@@ -53,10 +53,20 @@ echo "$out"
 
 fail=0
 check() {
-  local name=$1 budget=$2 allocs
-  allocs=$(echo "$out" | awk -v n="^$name" '$1 ~ n {print $(NF-1); exit}')
-  if [ -z "$allocs" ]; then
-    echo "BUDGET FAIL: $name: no benchmark output" >&2
+  local name=$1 budget=$2 line allocs unit
+  line=$(echo "$out" | awk -v n="^$name" '$1 ~ n {print; exit}')
+  if [ -z "$line" ]; then
+    echo "BUDGET FAIL: $name: no benchmark output (renamed? build failure swallowed?)" >&2
+    fail=1
+    return
+  fi
+  allocs=$(echo "$line" | awk '{print $(NF-1)}')
+  unit=$(echo "$line" | awk '{print $NF}')
+  # Parse defensively: a format drift (missing -benchmem columns, a
+  # non-integer in the allocs field) must fail the budget, not slip
+  # through an arithmetic-test error as a pass.
+  if [ "$unit" != "allocs/op" ] || ! [[ "$allocs" =~ ^[0-9]+$ ]]; then
+    echo "BUDGET FAIL: $name: unparseable benchmark line (want '<n> allocs/op' tail): $line" >&2
     fail=1
     return
   fi
