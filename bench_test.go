@@ -236,6 +236,46 @@ func BenchmarkE17Dynamics(b *testing.B) { benchSection(b, experiments.E17Dynamic
 // fixed-round pairwise cells at N up to 10⁶ on the delta-indexed engine.
 func BenchmarkE18RoundCost(b *testing.B) { benchSection(b, experiments.E18RoundCost) }
 
+// BenchmarkE19Membership regenerates the growable-population study: the
+// §3.4 amnesiac-rejoin classification plus the join-laden layout-
+// determinism matrix.
+func BenchmarkE19Membership(b *testing.B) { benchSection(b, experiments.E19Membership) }
+
+// BenchmarkJoinSplice measures a join-laden cell on a warm worker:
+// Ring(4096) pairwise churn, 8 agents spliced in at round 4, 32 fixed
+// rounds per op. Relative to the join-free warm-cell benchmarks each op
+// adds everything the growable-population path allocates — the clone of
+// the pristine grid graph, the ring splice, the partition extension,
+// matcher/mask/tracker growth, and the joiners' identity-keyed seeder
+// substreams. scripts/check_alloc_budget.sh pins allocs/op so
+// attachment stays O(joined subgraph + changed edges) and never
+// regresses into a per-round or per-agent rebuild.
+func BenchmarkJoinSplice(b *testing.B) {
+	w := sweep.NewWorker()
+	defer w.Close()
+	cell := sweep.Cell{
+		Env:      sweepenv.ChurnDesc(0.999),
+		Problem:  problems.MinDesc(),
+		Topo:     "ring",
+		Graph:    Ring(4096),
+		Mode:     PairwiseMode,
+		InitSeed: 17,
+		Opts: Options{Seed: 1, MaxRounds: 32, Mode: PairwiseMode, Shards: 4,
+			Dynamics: dynamics.NewSchedule(dynamics.Join(8, "ring", 4))},
+	}
+	if _, err := w.Do(cell); err != nil { // warm the engine scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cr, err := w.Do(cell)
+		if err != nil || cr.Rounds != 32 || cr.Dyn == nil || cr.Dyn.Joins != 8 {
+			b.Fatalf("join cell run failed: %v (rounds=%d)", err, cr.Rounds)
+		}
+	}
+}
+
 // BenchmarkSimWithDynamics is BenchmarkSimComponentRing64 with an EMPTY
 // dynamics schedule attached: the same run, rounds, and results, plus
 // the dynamics hook on the hot path (per-round Begin/EndRound, the

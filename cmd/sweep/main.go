@@ -43,7 +43,7 @@ func main() {
 	probs := flag.String("problems", "min,max,gcd", "comma-separated problem families (min, max, sum, gcd)")
 	topos := flag.String("topos", "ring,hypercube", "comma-separated topology families (ring, line, complete, star, tree, hypercube, torus)")
 	sizes := flag.String("sizes", "32", "comma-separated system sizes")
-	dyns := flag.String("dynamics", "none", "comma-separated dynamics schedules (none, crashes:RATE:MEANDOWN, partition:PARTS:FROM:TO, partitioncycle:PARTS:H:D, flap:K:FROM:TO, burst:Q:FROM:TO)")
+	dyns := flag.String("dynamics", "none", "comma-separated dynamics schedules (none, crashes:RATE:MEANDOWN, partition:PARTS:FROM:TO, partitioncycle:PARTS:H:D, flap:K:FROM:TO, burst:Q:FROM:TO, join:K:TOPO:ROUND, amnesiacflap:K:FROM:TO)")
 	modes := flag.String("modes", "component,pairwise", "comma-separated interaction modes (component, pairwise)")
 	seeds := flag.Int("seeds", 4, "seed replicas per combination")
 	baseSeed := flag.Int64("base-seed", 1, "root of every cell's seed substream")

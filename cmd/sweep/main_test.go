@@ -8,7 +8,7 @@ import (
 // goodAxes is a known-valid flag set buildAxes must accept.
 func goodAxes() (string, string, string, string, string, string) {
 	return "churn:0.9,static", "min,gcd", "ring,hypercube", "16,32",
-		"none,partition:2:1:40,crashes:0.02:20,burst:0.5:0:10,flap:2:1:20,partitioncycle:2:5:5",
+		"none,partition:2:1:40,crashes:0.02:20,burst:0.5:0:10,flap:2:1:20,partitioncycle:2:5:5,join:4:ring:10,amnesiacflap:2:1:20",
 		"component,pairwise"
 }
 
@@ -21,60 +21,66 @@ func TestBuildAxesAcceptsKnownValues(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(a.Envs) != 2 || len(a.Problems) != 2 || len(a.Topos) != 2 ||
-		len(a.Sizes) != 2 || len(a.Dynamics) != 6 || len(a.Modes) != 2 {
+		len(a.Sizes) != 2 || len(a.Dynamics) != 8 || len(a.Modes) != 2 {
 		t.Fatalf("axes lost values: %+v", a)
 	}
 	grid, err := a.Grid()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 2 * 2 * 2 * 2 * 6 * 2 * 2; len(grid.Cells) != want {
+	if want := 2 * 2 * 2 * 2 * 8 * 2 * 2; len(grid.Cells) != want {
 		t.Fatalf("grid has %d cells, want %d", len(grid.Cells), want)
 	}
 }
 
 // TestBuildAxesRejectsUnknownValues is the loud-failure satellite: every
-// axis rejects a bad value with an error that names the offender, so
-// cmd/sweep exits non-zero instead of silently running a wrong grid.
+// axis rejects a bad value with an error that names the offender — and,
+// for unknown registry families, lists the valid registered names — so
+// cmd/sweep exits non-zero with an actionable message instead of
+// silently running a wrong grid.
 func TestBuildAxesRejectsUnknownValues(t *testing.T) {
 	envs, probs, topos, sizes, dyns, modes := goodAxes()
 	cases := []struct {
 		name string
 		call func() error
-		want string
+		want []string
 	}{
 		{"bad env", func() error {
 			_, err := buildAxes("chrn:0.9", probs, topos, sizes, dyns, modes, 1, 1, 10, 0)
 			return err
-		}, "chrn"},
+		}, []string{"chrn", "static", "churn", "powerloss", "adversary"}},
 		{"bad env param", func() error {
 			_, err := buildAxes("churn:2.0", probs, topos, sizes, dyns, modes, 1, 1, 10, 0)
 			return err
-		}, "churn:2.0"},
+		}, []string{"churn:2.0"}},
 		{"bad problem", func() error {
 			_, err := buildAxes(envs, "minn", topos, sizes, dyns, modes, 1, 1, 10, 0)
 			return err
-		}, "minn"},
+		}, []string{"minn"}},
 		{"bad topo", func() error {
 			_, err := buildAxes(envs, probs, "moebius", sizes, dyns, modes, 1, 1, 10, 0)
 			return err
-		}, "moebius"},
+		}, []string{"moebius", "ring", "hypercube"}},
 		{"bad size", func() error {
 			_, err := buildAxes(envs, probs, topos, "32,huge", dyns, modes, 1, 1, 10, 0)
 			return err
-		}, "huge"},
+		}, []string{"huge"}},
 		{"bad dynamics", func() error {
 			_, err := buildAxes(envs, probs, topos, sizes, "meteor:0.5", modes, 1, 1, 10, 0)
 			return err
-		}, "meteor"},
+		}, []string{"meteor", "crashes", "join", "amnesiacflap"}},
 		{"bad dynamics param", func() error {
 			_, err := buildAxes(envs, probs, topos, sizes, "partition:1:0:10", modes, 1, 1, 10, 0)
 			return err
-		}, "partition:1:0:10"},
+		}, []string{"partition:1:0:10"}},
+		{"bad join topology", func() error {
+			_, err := buildAxes(envs, probs, topos, sizes, "join:4:torus:10", modes, 1, 1, 10, 0)
+			return err
+		}, []string{"torus", "ring", "hypercube", "pref"}},
 		{"bad mode", func() error {
 			_, err := buildAxes(envs, probs, topos, sizes, dyns, "gossip", 1, 1, 10, 0)
 			return err
-		}, "gossip"},
+		}, []string{"gossip"}},
 	}
 	for _, c := range cases {
 		err := c.call()
@@ -82,8 +88,10 @@ func TestBuildAxesRejectsUnknownValues(t *testing.T) {
 			t.Errorf("%s: expected an error", c.name)
 			continue
 		}
-		if !strings.Contains(err.Error(), c.want) {
-			t.Errorf("%s: error %q does not name %q", c.name, err, c.want)
+		for _, want := range c.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not name %q", c.name, err, want)
+			}
 		}
 	}
 }

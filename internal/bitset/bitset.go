@@ -194,6 +194,38 @@ func (s Set) Clone() Set {
 	return c
 }
 
+// Resized returns a Set of length n that preserves s's bits in
+// [0, min(n, s.Len())) and fills any bits beyond the old length with
+// fill. The zero (absent) value stays absent when n matches its length
+// convention would be ambiguous, so resizing the zero value is a panic —
+// callers growing a mask decide first whether the mask is materialized
+// (the zero value already means "all up" at every length). Shrinking is
+// allowed; the result shares no storage with s.
+func (s Set) Resized(n int, fill bool) Set {
+	if s.IsZero() {
+		panic("bitset: Resized on the absent zero value")
+	}
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	r := New(n)
+	copy(r.words, s.words)
+	if n > s.n {
+		// Clear any stale tail bits inherited from s's last word, then
+		// fill the new region [s.n, n).
+		if tail := uint(s.n) & 63; tail != 0 {
+			r.words[s.n>>6] &= (1 << tail) - 1
+		}
+		if fill {
+			for i := s.n; i < n; i++ {
+				r.Set(i)
+			}
+		}
+	}
+	r.clearTail()
+	return r
+}
+
 // And intersects s with other in place. Lengths must match.
 func (s Set) And(other Set) {
 	if s.n != other.n {

@@ -70,6 +70,13 @@ import (
 // this is an arbitrary large constant).
 const seedTag = 0x00d1_fa57
 
+// growTag derives the growth substream base from the dynamics base. It is
+// negative so it can never collide with the per-round event substreams
+// SubSeed(base, round), whose indices are the (non-negative) round
+// numbers: preferential-attachment draws must not perturb — or be
+// perturbed by — the same round's event draws.
+const growTag = -0x6a01_2e77
+
 // Schedule is an immutable, declarative set of dynamism rules. Build one
 // with NewSchedule; the zero value panics on use. A Schedule carries no
 // per-run state and may be shared by any number of concurrent runs —
@@ -86,7 +93,7 @@ func NewSchedule(rules ...Rule) *Schedule {
 	s := &Schedule{built: true}
 	for i, r := range rules {
 		if !r.ok {
-			panic(fmt.Sprintf("dynamics.NewSchedule: rule %d is a zero-value Rule; build rules with At/Every/Partition/PartitionCycle/CutEdges/Burst/RandomCrashes", i))
+			panic(fmt.Sprintf("dynamics.NewSchedule: rule %d is a zero-value Rule; build rules with At/Every/Partition/PartitionCycle/CutEdges/Burst/RandomCrashes/Join/AmnesiacRejoin", i))
 		}
 		s.rules = append(s.rules, r.r)
 	}
@@ -97,6 +104,49 @@ func NewSchedule(rules ...Rule) *Schedule {
 func (s *Schedule) Rules() int {
 	s.check()
 	return len(s.rules)
+}
+
+// TotalJoiners returns the total number of agents the schedule's Join
+// rules will add over the whole run — the engine sizes the initial-state
+// array (founding population + joiners, in join order) from this.
+func (s *Schedule) TotalJoiners() int {
+	s.check()
+	k := 0
+	for i := range s.rules {
+		if s.rules[i].kind == ruleJoin {
+			k += s.rules[i].joinK
+		}
+	}
+	return k
+}
+
+// HasJoins reports whether the schedule contains any Join rule.
+func (s *Schedule) HasJoins() bool { return s.TotalJoiners() > 0 }
+
+// LastJoinRound returns the latest round at which a Join rule fires
+// (−1 when the schedule has none) — engines must not stop on
+// convergence before every scheduled join has been applied.
+func (s *Schedule) LastJoinRound() int {
+	s.check()
+	last := -1
+	for i := range s.rules {
+		if s.rules[i].kind == ruleJoin && s.rules[i].round > last {
+			last = s.rules[i].round
+		}
+	}
+	return last
+}
+
+// Amnesiac reports whether the schedule carries the AmnesiacRejoin
+// policy flag: recoveries re-enter with their initial state.
+func (s *Schedule) Amnesiac() bool {
+	s.check()
+	for i := range s.rules {
+		if s.rules[i].kind == ruleAmnesiac {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Schedule) check() {
@@ -122,13 +172,22 @@ const (
 	ruleCutWindow // partition or explicit cut: a window of masked edges
 	ruleBurst     // per-round random extra edge loss inside a window
 	ruleRandomCrashes
+	ruleJoin     // population growth: k agents attach at a scheduled round
+	ruleAmnesiac // policy flag: recoveries are amnesiac rejoins
 )
 
 type rule struct {
 	kind ruleKind
 	ev   Event // At / Every
 
-	round, every int // At round; Every period
+	round, every int // At round; Every period; Join round
+
+	// Join rules: how many agents arrive and which attachment family
+	// splices them in (see JoinTopos). joinM is the links-per-joiner
+	// parameter of preferential attachment.
+	joinK    int
+	joinTopo string
+	joinM    int
 
 	// Window rules. A one-shot window is [from, to); a cyclic window
 	// (PartitionCycle) is up during rounds r with r%(healthy+down) >=
@@ -234,6 +293,64 @@ func RandomCrashes(rate float64, meanDown int) Rule {
 		panic(fmt.Sprintf("dynamics.RandomCrashes: mean downtime %d rounds below 1", meanDown))
 	}
 	return Rule{ok: true, r: rule{kind: ruleRandomCrashes, rate: rate, recoverP: 1 / float64(meanDown)}}
+}
+
+// JoinTopos lists the attachment families Join accepts: "ring" splices
+// the joiners into the ring's closing edge (graph.SpliceRing),
+// "hypercube" fills the next dimension's vertices (graph.GrowHypercube),
+// and "pref" attaches each joiner to 2 existing agents drawn
+// preferentially by degree (graph.AttachPreferential).
+func JoinTopos() []string { return []string{"ring", "hypercube", "pref"} }
+
+// Join schedules k agents to JOIN the system at the given round,
+// attached to the live topology by the named family (see JoinTopos).
+// The joiners arrive live, with agent ids assigned append-only past the
+// current population; the engine is responsible for supplying their
+// initial states and extending the conservation target per §3.4
+// (f(f(X) ∪ Y) = f(X ∪ Y)). Growth mutates the run's graph — sweep
+// runs clone the pristine topology per cell.
+func Join(k int, topo string, round int) Rule {
+	if k < 1 {
+		panic(fmt.Sprintf("dynamics.Join: non-positive joiner count %d", k))
+	}
+	if round < 0 {
+		panic(fmt.Sprintf("dynamics.Join: negative round %d", round))
+	}
+	ok := false
+	for _, t := range JoinTopos() {
+		if topo == t {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("dynamics.Join: unknown attachment family %q (know %s)", topo, joinToposList()))
+	}
+	return Rule{ok: true, r: rule{kind: ruleJoin, round: round, joinK: k, joinTopo: topo, joinM: 2}}
+}
+
+func joinToposList() string {
+	s := ""
+	for i, t := range JoinTopos() {
+		if i > 0 {
+			s += ", "
+		}
+		s += t
+	}
+	return s
+}
+
+// AmnesiacRejoin marks every recovery in the schedule as an AMNESIAC
+// rejoin: instead of waking with its frozen (pre-crash) state, the agent
+// re-enters the computation with its INITIAL state, as if it had never
+// participated — the paper's §3.4 re-entry model, where correctness
+// under rejoin is exactly super-idempotence of f. The engine performs
+// the state reset (the applier only reports who woke, via JustWoken);
+// the monitor rebases its variant baseline at such rounds, and for
+// non-super-idempotent f (sum, average) the conservation law is
+// EXPECTED to break — that detection is experiment E19's subject.
+func AmnesiacRejoin() Rule {
+	return Rule{ok: true, r: rule{kind: ruleAmnesiac}}
 }
 
 // checkWindow validates a [from, to) round window.
@@ -380,6 +497,11 @@ type Report struct {
 	MaskedEdgeRounds int
 	// FrozenAgentRounds sums, over rounds, the number of crashed agents.
 	FrozenAgentRounds int
+	// Joins counts agents added by Join rules; AmnesiacResets counts
+	// recoveries that re-entered with their initial state (every
+	// recovery, when the schedule carries AmnesiacRejoin).
+	Joins          int
+	AmnesiacResets int
 }
 
 // Applier is one run's mutable dynamics state: the live-agent set, the
@@ -395,7 +517,15 @@ type Applier struct {
 	live        []bool
 	frozen      []int // crashed agents, ascending — the frozen-check list
 	justCrashed []int // agents crashed by the current BeginRound
+	justWoken   []int // agents woken by the current BeginRound
 	wakeScratch []int
+
+	// Population growth: remaining scheduled joiners, the amnesiac
+	// policy flag, and the growth substream base (negative-tag sibling of
+	// the per-round event substreams — see growTag).
+	joinsLeft int
+	amnesiac  bool
+	growBase  int64
 
 	winActive []bool  // per rule: window currently masking
 	winCut    [][]int // per rule: lazily computed cut edge ids
@@ -433,6 +563,9 @@ func (a *Applier) Reset(s *Schedule, g *graph.Graph, runSeed int64) {
 	s.check()
 	a.s, a.g = s, g
 	a.base = engine.SubSeed(runSeed, seedTag)
+	a.growBase = engine.SubSeed(a.base, growTag)
+	a.joinsLeft = s.TotalJoiners()
+	a.amnesiac = s.Amnesiac()
 	a.validate()
 
 	n := g.N()
@@ -445,6 +578,7 @@ func (a *Applier) Reset(s *Schedule, g *graph.Graph, runSeed int64) {
 	}
 	a.frozen = a.frozen[:0]
 	a.justCrashed = a.justCrashed[:0]
+	a.justWoken = a.justWoken[:0]
 	a.burstIDs = a.burstIDs[:0]
 	a.edgeUndo, a.agentUndo = a.edgeUndo[:0], a.agentUndo[:0]
 	a.curEdgeUp, a.curAgentUp = bitset.Set{}, bitset.Set{}
@@ -468,8 +602,11 @@ func (a *Applier) Reset(s *Schedule, g *graph.Graph, runSeed int64) {
 }
 
 // validate checks every id the schedule references against the graph.
+// Scripted agent ids may address joiners (ids in [N, N + TotalJoiners)):
+// crashing or waking an agent that has not yet joined panics at fire
+// time, not here.
 func (a *Applier) validate() {
-	n, m := a.g.N(), a.g.M()
+	n, m := a.g.N()+a.s.TotalJoiners(), a.g.M()
 	for i := range a.s.rules {
 		r := &a.s.rules[i]
 		switch r.kind {
@@ -500,6 +637,9 @@ func checkAgentIDs(what string, ids []int, n int) {
 
 // crash freezes agent ag (no-op when already crashed).
 func (a *Applier) crash(ag int) {
+	if ag >= len(a.live) {
+		panic(fmt.Sprintf("dynamics: crash of agent %d scheduled before it joins (population is %d)", ag, len(a.live)))
+	}
 	if !a.live[ag] {
 		return
 	}
@@ -511,12 +651,19 @@ func (a *Applier) crash(ag int) {
 
 // wake unfreezes agent ag (no-op when live).
 func (a *Applier) wake(ag int) {
+	if ag >= len(a.live) {
+		panic(fmt.Sprintf("dynamics: recovery of agent %d scheduled before it joins (population is %d)", ag, len(a.live)))
+	}
 	if a.live[ag] {
 		return
 	}
 	a.live[ag] = true
 	a.frozen = removeSorted(a.frozen, ag)
+	a.justWoken = append(a.justWoken, ag)
 	a.rep.Recoveries++
+	if a.amnesiac {
+		a.rep.AmnesiacResets++
+	}
 }
 
 func insertSorted(s []int, v int) []int {
@@ -558,6 +705,9 @@ func (a *Applier) cutFor(i int) []int {
 	}
 	var ids []int
 	for id := 0; id < a.g.M(); id++ {
+		if a.g.EdgeRetired(id) {
+			continue
+		}
 		e := a.g.Edge(id)
 		if e.A/per != e.B/per {
 			ids = append(ids, id)
@@ -569,6 +719,89 @@ func (a *Applier) cutFor(i int) []int {
 	a.winCut[i] = ids
 	return ids
 }
+
+// GrowthFor applies the round's Join rules, if any, mutating the run's
+// graph through the incremental attachment paths (graph.SpliceRing,
+// GrowHypercube, AttachPreferential) and returning the merged Growth
+// record. The engine calls this at the TOP of each round, before the
+// environment steps and before BeginRound: the joiners participate in
+// the very round they arrive. Returns (zero, false) on rounds with no
+// scheduled join — the steady-state fast path, one counter test.
+//
+//det:hotpath
+func (a *Applier) GrowthFor(round int) (graph.Growth, bool) {
+	if a.joinsLeft == 0 {
+		return graph.Growth{}, false
+	}
+	return a.growthSlow(round)
+}
+
+// growthSlow is GrowthFor off the fast path: at most once per join
+// round. Preferential-attachment draws come from the growth substream
+// SubSeed(growBase, round) — disjoint by construction from the event
+// substreams (growTag < 0, rounds ≥ 0) — and a.rng is reseeded again by
+// BeginRound before any event fires, so growth and events cannot
+// perturb each other's draws.
+func (a *Applier) growthSlow(round int) (graph.Growth, bool) {
+	var total graph.Growth
+	any := false
+	reseeded := false
+	for i := range a.s.rules {
+		r := &a.s.rules[i]
+		if r.kind != ruleJoin || r.round != round {
+			continue
+		}
+		var gr graph.Growth
+		var err error
+		switch r.joinTopo {
+		case "ring":
+			gr, err = a.g.SpliceRing(r.joinK)
+		case "hypercube":
+			gr, err = a.g.GrowHypercube(r.joinK)
+		case "pref":
+			if !reseeded {
+				a.rng.Reseed(engine.SubSeed(a.growBase, round))
+				reseeded = true
+			}
+			gr, err = a.g.AttachPreferential(r.joinK, r.joinM, a.rng)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("dynamics.Join(%d, %q, %d): attachment failed on graph %s: %v", r.joinK, r.joinTopo, round, a.g.Name(), err))
+		}
+		if !any {
+			total, any = gr, true
+		} else {
+			total.NewAgents += gr.NewAgents
+			total.NewEdgeIDs = append(total.NewEdgeIDs, gr.NewEdgeIDs...)
+			total.RetiredEdgeIDs = append(total.RetiredEdgeIDs, gr.RetiredEdgeIDs...)
+		}
+		a.joinsLeft -= r.joinK
+		a.rep.Joins += r.joinK
+	}
+	if !any {
+		return graph.Growth{}, false
+	}
+	// Joiners arrive live.
+	for len(a.live) < a.g.N() {
+		a.live = append(a.live, true)
+	}
+	// Graph-sized caches were built for the smaller topology: drop the
+	// all-true fallback masks (re-materialized at the new size on demand)
+	// and the block-partition cut lists, whose block size is a function
+	// of the current population (explicit CutEdges lists are untouched —
+	// they name founding edges by id, and ids are stable).
+	a.edgeUpBuf, a.agentUpBuf = bitset.Set{}, bitset.Set{}
+	for i := range a.winCut {
+		if a.s.rules[i].kind == ruleCutWindow && a.s.rules[i].cutIDs == nil {
+			a.winCut[i] = nil
+		}
+	}
+	return total, true
+}
+
+// PendingJoins reports whether any scheduled join has not yet fired —
+// engines must not stop on convergence while this holds.
+func (a *Applier) PendingJoins() bool { return a.joinsLeft > 0 }
 
 // BeginRound applies the schedule for one round: it fires the round's
 // events (updating the live set and window states incrementally), then
@@ -583,6 +816,7 @@ func (a *Applier) BeginRound(round int, es env.State) env.State {
 		panic(fmt.Sprintf("dynamics.Applier.BeginRound: negative round %d", round))
 	}
 	a.justCrashed = a.justCrashed[:0]
+	a.justWoken = a.justWoken[:0]
 	a.burstIDs = a.burstIDs[:0]
 	if len(a.s.rules) == 0 {
 		return es
@@ -728,6 +962,16 @@ func (a *Applier) allTrueAgents() bitset.Set {
 // the engine snapshots their states as the frozen reference values. The
 // slice aliases applier scratch, valid until the next BeginRound.
 func (a *Applier) JustCrashed() []int { return a.justCrashed }
+
+// JustWoken returns the agents woken by the most recent BeginRound, in
+// wake order. Under an amnesiac schedule (Amnesiac true) the engine
+// resets each of them to its initial state before the round's groups
+// step. The slice aliases applier scratch, valid until the next
+// BeginRound.
+func (a *Applier) JustWoken() []int { return a.justWoken }
+
+// Amnesiac reports whether recoveries are amnesiac rejoins for this run.
+func (a *Applier) Amnesiac() bool { return a.amnesiac }
 
 // Frozen returns the currently crashed agents in ascending order — the
 // list the engine's frozen-state conservation check walks each round.

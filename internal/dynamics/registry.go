@@ -75,6 +75,40 @@ func BurstDesc(q float64, from, to int) Desc {
 	}
 }
 
+// JoinDesc describes Join(k, topo, round): k agents attach at the given
+// round by the named family (see JoinTopos).
+func JoinDesc(k int, topo string, round int) Desc {
+	return Desc{
+		Name: fmt.Sprintf("join:%d:%s:%d", k, topo, round),
+		New:  func(*graph.Graph) *Schedule { return NewSchedule(Join(k, topo, round)) },
+	}
+}
+
+// AmnesiacFlapDesc is FlapDesc under the AmnesiacRejoin policy: k random
+// agents crash at round from and at round to rejoin AMNESIACALLY — with
+// their initial states, not their frozen ones. The E19 membership
+// experiment reads the §3.4 classification off this family: f survives
+// amnesiac rejoin iff it is super-idempotent.
+func AmnesiacFlapDesc(k, from, to int) Desc {
+	if to <= from {
+		panic(fmt.Sprintf("dynamics.AmnesiacFlapDesc: empty window [%d, %d)", from, to))
+	}
+	return Desc{
+		Name: fmt.Sprintf("amnesiacflap:%d:%d:%d", k, from, to),
+		New: func(*graph.Graph) *Schedule {
+			return NewSchedule(At(from, CrashRandom(k)), At(to, RecoverAll()), AmnesiacRejoin())
+		},
+	}
+}
+
+// Families lists the registered spec families ParseDesc accepts, in the
+// order the doc comment presents them — the single source the
+// unknown-family error quotes, so the message can never drift from what
+// is actually parseable.
+func Families() []string {
+	return []string{"none", "crashes", "partition", "partitioncycle", "flap", "burst", "join", "amnesiacflap"}
+}
+
 // ParseDesc resolves a registry spec of the form "family[:param…]" to a
 // Desc:
 //
@@ -84,6 +118,8 @@ func BurstDesc(q float64, from, to int) Desc {
 //	partitioncycle:PARTS:H:D    repeating H healthy / D partitioned rounds
 //	flap:K:FROM:TO              K random agents crash at FROM, all wake at TO
 //	burst:Q:FROM:TO             extra per-edge drop probability Q over [FROM, TO)
+//	join:K:FAMILY:ROUND         K agents join at ROUND via ring|hypercube|pref
+//	amnesiacflap:K:FROM:TO      flap whose recoveries are amnesiac rejoins
 //
 // It is the CLI-facing half of the registry: cmd/sweep's -dynamics axis
 // names its schedules with these specs. Parameters the Rule constructors
@@ -175,7 +211,46 @@ func ParseDesc(spec string) (Desc, error) {
 			return bad("empty or negative window [%d, %d)", v[0], v[1])
 		}
 		return BurstDesc(q, v[0], v[1]), nil
+	case "join":
+		if len(parts) != 4 {
+			return bad("want join:K:FAMILY:ROUND")
+		}
+		k, err := strconv.Atoi(parts[1])
+		if err != nil || k < 1 {
+			return bad("joiner count %q must be a positive integer", parts[1])
+		}
+		topo := parts[2]
+		known := false
+		for _, t := range JoinTopos() {
+			if topo == t {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return bad("unknown attachment family %q (know %s)", topo, strings.Join(JoinTopos(), ", "))
+		}
+		round, err := strconv.Atoi(parts[3])
+		if err != nil || round < 0 {
+			return bad("round %q must be a non-negative integer", parts[3])
+		}
+		return JoinDesc(k, topo, round), nil
+	case "amnesiacflap":
+		if len(parts) != 4 {
+			return bad("want amnesiacflap:K:FROM:TO")
+		}
+		v, err := ints(parts[1:])
+		if err != nil {
+			return bad("%v", err)
+		}
+		if v[0] < 1 {
+			return bad("need at least 1 agent, got %d", v[0])
+		}
+		if v[1] < 0 || v[2] <= v[1] {
+			return bad("empty or negative window [%d, %d)", v[1], v[2])
+		}
+		return AmnesiacFlapDesc(v[0], v[1], v[2]), nil
 	default:
-		return bad("unknown family (know none, crashes, partition, partitioncycle, flap, burst)")
+		return bad("unknown family (know %s)", strings.Join(Families(), ", "))
 	}
 }

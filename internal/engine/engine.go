@@ -134,6 +134,30 @@ func (m *Monitor[T]) ObserveQuiescence(final ms.Multiset[T]) {
 	}
 }
 
+// AdmitJoin extends the conservation target for a sanctioned population
+// growth: target' = f(target ∪ joined) = f(f(S(0)) ∪ joined). When f is
+// super-idempotent this is EXACTLY f(S(0) ∪ joined) by §3.4
+// (f(f(X) ∪ Y) = f(X ∪ Y)) — the target a fresh run over the whole
+// population would fix — so admitting joiners against the already-reduced
+// target never masks or manufactures a violation. The variant baseline is
+// NOT touched here; callers rebase it (RebaseVariant) after the join is
+// applied to the state, since new input may legitimately raise h.
+func (m *Monitor[T]) AdmitJoin(joined []T) {
+	if len(joined) == 0 {
+		return
+	}
+	y := ms.New(m.target.Cmp(), joined...)
+	m.target = m.f.Apply(m.target.Union(y))
+}
+
+// RebaseVariant resets the variant baseline to h(now). Sanctioned
+// discontinuities — a join injecting fresh input, an amnesiac rejoin
+// resetting an agent to its initial state — may raise h without any agent
+// taking an illegal step; callers invoke this at such rounds so the
+// descent check resumes from the post-discontinuity value instead of
+// reporting the jump as a violation.
+func (m *Monitor[T]) RebaseVariant(now ms.Multiset[T]) { m.lastH = m.h.Value(now) }
+
 // CheckFrozen verifies the dynamics layer's frozen-state contract: a
 // crashed agent "executes no actions and does not change state", so for
 // every agent in frozen (ids into the positional state array) the
@@ -194,6 +218,16 @@ func (c *Convergence[T]) Observe(rounds int, now ms.Multiset[T]) bool {
 	c.converged = true
 	c.round = rounds
 	return true
+}
+
+// Retarget rebinds the detector to a new target and clears any earlier
+// first-reach record — the population-growth path: a join changes
+// S* = f(S(0) ∪ joined), so the run must (re)reach the NEW target and
+// Round reports the first reach of the final population's target.
+func (c *Convergence[T]) Retarget(target ms.Multiset[T]) {
+	c.target = target
+	c.converged = false
+	c.round = 0
 }
 
 // Converged reports whether any observation reached the target.

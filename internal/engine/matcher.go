@@ -79,6 +79,10 @@ type PairMatcher struct {
 	// per Seed would grow linearly in the bucket count (see fastrand.go).
 	rands []*FastRand
 
+	// gen is the graph growth generation the index was last sized for;
+	// Grow no-ops when it is current (see Grow).
+	gen int
+
 	out []int // final matched edge ids in deterministic order
 
 	// Current-round inputs, stashed so the fan-out closures (built once)
@@ -103,6 +107,7 @@ func NewPairMatcher(g *graph.Graph, blocks int) *PairMatcher {
 	m := &PairMatcher{
 		g:          g,
 		part:       part,
+		gen:        g.Gen(),
 		edges:      g.EdgesView(),
 		matched:    make([]bool, g.N()),
 		bucketOf:   make([]int32, g.M()),
@@ -154,8 +159,13 @@ func (m *PairMatcher) stream(i int, seed int64) *rand.Rand {
 }
 
 // usableEdge reports whether edge id can carry a pair step under the
-// given masks (zero masks mean all-up, as in graph.Components).
+// given masks (zero masks mean all-up, as in graph.Components). Edges
+// retired by a topology splice are never usable, whatever the masks say —
+// environments are not required to clear retired ids.
 func (m *PairMatcher) usableEdge(id int, edgeUp, agentUp bitset.Set) bool {
+	if m.g.EdgeRetired(id) {
+		return false
+	}
 	if !edgeUp.IsZero() && !edgeUp.Get(id) {
 		return false
 	}
@@ -166,6 +176,67 @@ func (m *PairMatcher) usableEdge(id int, edgeUp, agentUp bitset.Set) bool {
 		}
 	}
 	return true
+}
+
+// Grow brings the matcher's structural index in line with its graph
+// after population growth, and no-ops when the index is already current
+// (so callers can invoke it unconditionally on cache revival). The
+// graph's cached partition was extended in place — existing interior
+// lists, pair indices, and positions are all preserved, only appended —
+// so Grow extends rather than rebuilds: the matched array and the
+// id→(bucket, position) maps gain entries for the new agents/edges, new
+// boundary pairs gain buckets at the END of the bucket range, and every
+// bucket's usable bitset is resized with the new positions CLEAR. The
+// caller feeds the growth's new and retired edge ids through the next
+// Update's touched stream, which sets the fresh bits correctly — the
+// same O(changes) contract every other mutation uses. Per-round draws
+// are untouched: bucket substream seeds depend only on bucket index, and
+// existing buckets keep their indices.
+func (m *PairMatcher) Grow() {
+	if m.gen == m.g.Gen() {
+		return
+	}
+	m.gen = m.g.Gen()
+	part := m.part
+	m.edges = m.g.EdgesView()
+	for len(m.matched) < m.g.N() {
+		m.matched = append(m.matched, false)
+	}
+	for len(m.bucketOf) < m.g.M() {
+		m.bucketOf = append(m.bucketOf, 0)
+		m.bucketPos = append(m.bucketPos, 0)
+	}
+	nb := part.Blocks + len(part.Pairs)
+	for len(m.bucketBits) < nb {
+		m.bucketBits = append(m.bucketBits, bitset.Set{})
+		m.bucketIDs = append(m.bucketIDs, nil)
+		m.work = append(m.work, nil)
+		m.found = append(m.found, nil)
+		m.rands = append(m.rands, nil)
+	}
+	// Refresh every bucket's id-list alias (partition appends may have
+	// reallocated the backing slices) and index the appended tail of each.
+	for b := 0; b < part.Blocks; b++ {
+		m.bucketIDs[b] = part.Interior[b]
+	}
+	for k := range part.Pairs {
+		m.bucketIDs[part.Blocks+k] = part.Pairs[k].Edges
+	}
+	for b, ids := range m.bucketIDs {
+		old := m.bucketBits[b].Len()
+		if old != len(ids) {
+			if m.bucketBits[b].IsZero() {
+				m.bucketBits[b] = bitset.New(len(ids))
+			} else {
+				m.bucketBits[b] = m.bucketBits[b].Resized(len(ids), false)
+			}
+		}
+		for pos := old; pos < len(ids); pos++ {
+			id := ids[pos]
+			m.bucketOf[id] = int32(b)
+			m.bucketPos[id] = int32(pos)
+		}
+	}
 }
 
 // Update brings the usable-edge index in line with the round's effective

@@ -126,8 +126,30 @@ func (s *Shards[T]) Reset(cmp ms.Cmp[T], states []T, p int) {
 // P returns the shard count.
 func (s *Shards[T]) P() int { return len(s.trackers) }
 
-// Owner returns the shard owning the given agent index.
-func (s *Shards[T]) Owner(agent int) int { return agent / s.blockSize }
+// Owner returns the shard owning the given agent index. Agents appended
+// by population growth (indices at or beyond P·blockSize) clamp to the
+// last shard — the same grow-the-last-block rule graph.EdgePartition.Block
+// uses, so state sharding and edge blocking never disagree about an
+// agent's home.
+func (s *Shards[T]) Owner(agent int) int {
+	if sh := agent / s.blockSize; sh < len(s.trackers) {
+		return sh
+	}
+	return len(s.trackers) - 1
+}
+
+// Append admits joining agents: their states are appended to the LAST
+// shard's tracker, matching Owner's clamp for out-of-range indices. The
+// shard layout (P, blockSize) is untouched — growth never rebalances
+// mid-run, so per-shard draws and merge order are unchanged for every
+// existing agent; rebalancing happens only when an explicit epoch calls
+// Reset with the full population.
+func (s *Shards[T]) Append(vals []T) {
+	if len(vals) == 0 {
+		return
+	}
+	s.trackers[len(s.trackers)-1].Append(vals)
+}
 
 // Stage records that the given agent's state changed old → new this
 // round. The delta is routed to the owning shard and applied at the next

@@ -101,6 +101,22 @@ func (b *stateBuf) edgesDown(g *graph.Graph) State {
 	return s
 }
 
+// grow resizes a primed buffer to g's current sizes, filling the new edge
+// entries with edgeFill and bringing the new agents up. A buffer that was
+// never primed (zero masks) has nothing to carry over — the next allUp
+// sizes it correctly.
+func (b *stateBuf) grow(g *graph.Graph, edgeFill bool) {
+	if b.s.EdgeUp.IsZero() {
+		return
+	}
+	if b.s.EdgeUp.Len() < g.M() {
+		b.s.EdgeUp = b.s.EdgeUp.Resized(g.M(), edgeFill)
+	}
+	if b.s.AgentUp.Len() < g.N() {
+		b.s.AgentUp = b.s.AgentUp.Resized(g.N(), true)
+	}
+}
+
 // Environment produces a sequence of environment states over a fixed
 // communication graph. Implementations are deterministic functions of the
 // supplied random source, so runs are reproducible from a seed. The State
@@ -133,6 +149,22 @@ type Environment interface {
 type DeltaEnvironment interface {
 	Environment
 	StepDeltas() (edges, agents []int, ok bool)
+}
+
+// Growable is implemented by environments that support population growth
+// mid-run. Grow is called after the underlying graph gained agents and/or
+// edges (the graph is already grown when Grow runs): the environment must
+// resize its masks so every new agent and edge id is covered, with the
+// NEW entries up — joiners arrive alive, and their availability is then
+// governed by the environment's ordinary transitions from the next Step
+// on. Environments need not clear retired edge ids; every mask consumer
+// skips them via graph.EdgeRetired. Environments whose state is
+// structurally tied to the founding topology (Partitioner's cut set,
+// Adversary's scoring, Mobile's pair-per-edge layout) do not implement
+// the interface, and the engines reject join schedules over them.
+type Growable interface {
+	Environment
+	Grow()
 }
 
 // deltaState is the StepDeltas bookkeeping shared by the delta-capable
@@ -196,6 +228,16 @@ func (e *Static) Step(int, *rand.Rand) State {
 	e.deltaState = deltaState{ok: e.primed}
 	e.primed = true
 	return e.s
+}
+
+// Grow implements Growable: the all-up masks simply extend, all-up.
+func (e *Static) Grow() {
+	if e.s.EdgeUp.Len() < e.g.M() {
+		e.s.EdgeUp = e.s.EdgeUp.Resized(e.g.M(), true)
+	}
+	if e.s.AgentUp.Len() < e.g.N() {
+		e.s.AgentUp = e.s.AgentUp.Resized(e.g.N(), true)
+	}
 }
 
 // --- EdgeChurn: independent random link availability ---
@@ -326,6 +368,13 @@ func (e *EdgeChurn) Step(_ int, rng *rand.Rand) State {
 	return s
 }
 
+// Grow implements Growable. New edge entries take the majority value and
+// new agents come up; the very next Step samples the new edges iid like
+// every other (sampleFlips ranges over the grown M), and the engine's
+// join-touched stream covers the new ids, so downstream indices see their
+// post-Step values.
+func (e *EdgeChurn) Grow() { e.buf.grow(e.g, e.majority) }
+
 // --- PowerLoss: agents go down and come back ---
 
 // PowerLoss disables each agent independently with probability P each round
@@ -379,6 +428,11 @@ func (e *PowerLoss) Step(_ int, rng *rand.Rand) State {
 	e.deltaState = deltaState{agents: agents, ok: true}
 	return s
 }
+
+// Grow implements Growable: new agents arrive up (the next Step's
+// Bernoulli pass covers them — it ranges over the grown mask), new edges
+// are up.
+func (e *PowerLoss) Grow() { e.buf.grow(e.g, true) }
 
 // --- Partitioner: adversarial network splits that heal ---
 
@@ -624,6 +678,10 @@ func (e *Starver) Name() string { return fmt.Sprintf("starver(%d edges)", len(e.
 // Graph implements Environment.
 func (e *Starver) Graph() *graph.Graph { return e.g }
 
+// Grow implements Growable: newly attached edges are not starved, so
+// they extend the mask up; the starved id set is fixed at construction.
+func (e *Starver) Grow() { e.buf.grow(e.g, true) }
+
 // Step implements Environment.
 func (e *Starver) Step(int, *rand.Rand) State {
 	if !e.primed {
@@ -665,6 +723,13 @@ func (e *RoundRobin) Name() string { return "round-robin(1 edge/round)" }
 
 // Graph implements Environment.
 func (e *RoundRobin) Graph() *graph.Graph { return e.g }
+
+// Grow implements Growable: new edges join the cycle down (exactly one
+// edge is up per round; the round counter reaches them in turn), new
+// agents up. A round whose cursor lands on a retired id enables only
+// that unusable edge — consumers skip it and the round idles, preserving
+// the one-draw-per-round structure.
+func (e *RoundRobin) Grow() { e.buf.grow(e.g, false) }
 
 // Step implements Environment.
 func (e *RoundRobin) Step(round int, _ *rand.Rand) State {
@@ -827,6 +892,26 @@ func NewFairnessProbe(m int) *FairnessProbe {
 		// the scratch by repeated doubling — warm sweep cells build a
 		// fresh probe per run, so that growth would recur per cell.
 		diffScratch: make([]int, 0, m),
+	}
+}
+
+// Grow extends the probe to m edges. New edges are treated as born down
+// at the given round: their first up-transition measures the gap since
+// birth, not since round 0, and their up-fraction denominator remains the
+// full observation window (a late joiner that is always up still shows a
+// sub-1 fraction — the probe reports what was observed, not what was
+// possible).
+func (p *FairnessProbe) Grow(m, round int) {
+	old := p.prev.Len()
+	if m <= old {
+		return
+	}
+	p.prev = p.prev.Resized(m, false)
+	for id := old; id < m; id++ {
+		p.accUp = append(p.accUp, 0)
+		p.runStart = append(p.runStart, 0)
+		p.lastUpEnd = append(p.lastUpEnd, round)
+		p.maxGap = append(p.maxGap, 0)
 	}
 }
 

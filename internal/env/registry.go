@@ -53,6 +53,11 @@ func AdversaryDesc(cut float64, window int) Desc {
 	}
 }
 
+// Families lists the registered spec families ParseDesc accepts — the
+// single source the unknown-family error quotes, so the message can
+// never drift from what is actually parseable.
+func Families() []string { return []string{"static", "churn", "powerloss", "adversary"} }
+
 // ParseDesc resolves a registry spec of the form "family[:param[:param]]"
 // to a Desc:
 //
@@ -116,7 +121,7 @@ func ParseDesc(spec string) (Desc, error) {
 		}
 		return AdversaryDesc(cut, w), nil
 	default:
-		return bad("unknown family (know static, churn, powerloss, adversary)")
+		return bad("unknown family (know %s)", strings.Join(Families(), ", "))
 	}
 }
 

@@ -48,9 +48,25 @@ type Graph struct {
 	adj   [][]int // adjacency as edge indices, per vertex (flat backing)
 	name  string
 
+	// Growth state (see grow.go). Edge ids are append-only and stable:
+	// sortedM is the length of the canonically sorted prefix EdgeID can
+	// binary-search (edges appended by growth land on the tail), retired
+	// marks ids removed from the live topology (never reused), gen
+	// counts growth operations so index structures built over the graph
+	// can detect staleness cheaply, and baseN is the founding population —
+	// the N the graph was constructed with, which block sizing is keyed to
+	// so partitions computed before and after growth agree.
+	gen          int
+	baseN        int
+	sortedM      int
+	retired      bitset.Set
+	retiredCount int
+
 	// Edge partitions are pure functions of (edge set, blocks), so they are
 	// computed once per block count and cached on the graph. Graphs are
 	// shared across sweep workers; the mutex makes the cache safe there.
+	// Growth extends every cached partition in place (grow.go), so the
+	// shared pointers stay valid.
 	partMu sync.Mutex
 	parts  map[int]*EdgePartition
 }
@@ -89,7 +105,7 @@ func New(name string, n int, edges []Edge) (*Graph, error) {
 			return nil, fmt.Errorf("graph: duplicate edge %v", canon[i])
 		}
 	}
-	g := &Graph{n: n, edges: canon, name: name}
+	g := &Graph{n: n, edges: canon, name: name, baseN: n, sortedM: len(canon)}
 	// Counted two-pass adjacency build over one flat backing array.
 	deg := make([]int, n+1)
 	for _, e := range canon {
@@ -153,17 +169,25 @@ func (g *Graph) IncidentEdgeIDs(v int) []int { return g.adj[v] }
 // Edge returns the edge with the given id.
 func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 
-// EdgeID returns the id of edge {a,b} and whether it exists.
+// EdgeID returns the id of the live edge {a,b} and whether it exists.
+// The founding prefix of the edge list is canonically sorted and binary
+// searched; edges appended by growth live on the (short) unsorted tail
+// and are scanned linearly. Retired edges do not exist.
 func (g *Graph) EdgeID(a, b int) (int, bool) {
 	e := NewEdge(a, b)
-	i := sort.Search(len(g.edges), func(i int) bool {
+	i := sort.Search(g.sortedM, func(i int) bool {
 		if g.edges[i].A != e.A {
 			return g.edges[i].A >= e.A
 		}
 		return g.edges[i].B >= e.B
 	})
-	if i < len(g.edges) && g.edges[i] == e {
+	if i < g.sortedM && g.edges[i] == e && !g.EdgeRetired(i) {
 		return i, true
+	}
+	for id := g.sortedM; id < len(g.edges); id++ {
+		if g.edges[id] == e && !g.EdgeRetired(id) {
+			return id, true
+		}
 	}
 	return -1, false
 }
@@ -250,17 +274,32 @@ func (g *Graph) ComponentsInto(edgeUp, agentUp bitset.Set, cs *ComponentScratch)
 		}
 	}
 	if edgeUp.IsZero() {
-		for _, e := range g.edges {
-			union(e)
+		if g.retiredCount == 0 {
+			for _, e := range g.edges {
+				union(e)
+			}
+		} else {
+			for id, e := range g.edges {
+				if g.retired.Get(id) {
+					continue
+				}
+				union(e)
+			}
 		}
 	} else {
 		// Word-skip scan: a fully-down region costs one word test per 64
 		// edges, so the union pass is O(up edges + E/64) instead of O(E).
+		// Retired edges are skipped even when the mask still carries their
+		// bit — environments are not required to clear retired ids.
 		for wi, w := range edgeUp.Words() {
 			base := wi << 6
 			for w != 0 {
-				union(g.edges[base+mathbits.TrailingZeros64(w)])
+				id := base + mathbits.TrailingZeros64(w)
 				w &= w - 1
+				if g.retiredCount != 0 && g.retired.Get(id) {
+					continue
+				}
+				union(g.edges[id])
 			}
 		}
 	}
@@ -345,20 +384,33 @@ type BoundaryPair struct {
 	Edges  []int // ascending edge ids with one endpoint in each block
 }
 
-// Block returns the block owning the given agent index.
-func (p *EdgePartition) Block(agent int) int { return agent / p.BlockSize }
+// Block returns the block owning the given agent index. Agents appended
+// by population growth (indices at or beyond Blocks·BlockSize) clamp to
+// the last block — the "grow the last shard" rule; rebalancing happens
+// only when an explicit epoch rebuilds the partition.
+func (p *EdgePartition) Block(agent int) int {
+	if b := agent / p.BlockSize; b < p.Blocks {
+		return b
+	}
+	return p.Blocks - 1
+}
 
 // PartitionEdges returns the EdgePartition of the graph's edge set for the
-// given number of contiguous agent blocks (clamped to [1, N] for N > 0).
-// Every edge id appears in exactly one of the Interior lists or in
-// Boundary, and with blocks == 1 every edge is interior.
+// given number of contiguous agent blocks (clamped to [1, baseN] where
+// baseN is the founding population). Every edge id appears in exactly one
+// of the Interior lists or in Boundary, and with blocks == 1 every edge is
+// interior.
 //
 // The result is computed once per block count and cached on the graph
-// (partitions are static: they depend only on the edge set), so warm
-// matcher rebuilds and repeated sweep cells skip the O(E) split. The
-// returned partition is shared — callers must treat it as read-only.
+// (partitions depend only on the edge history), so warm matcher rebuilds
+// and repeated sweep cells skip the O(E) split. The returned partition is
+// shared — callers must treat it as read-only. Block sizing is keyed to
+// the founding population and growth-appended edges are applied as an
+// ordered tail on top of the founding build, so a partition computed
+// fresh after growth is identical — field for field, order for order — to
+// one built before growth and extended incrementally.
 func (g *Graph) PartitionEdges(blocks int) *EdgePartition {
-	n := g.n
+	n := g.baseN
 	if blocks < 1 {
 		blocks = 1
 	}
@@ -375,7 +427,8 @@ func (g *Graph) PartitionEdges(blocks int) *EdgePartition {
 		bs = (n + blocks - 1) / blocks
 	}
 	p := &EdgePartition{Blocks: blocks, BlockSize: bs, Interior: make([][]int, blocks)}
-	for id, e := range g.edges {
+	// Founding prefix: canonically sorted, every endpoint within baseN.
+	for id, e := range g.edges[:g.sortedM] {
 		ba, bb := e.A/bs, e.B/bs
 		if ba == bb {
 			p.Interior[ba] = append(p.Interior[ba], id)
@@ -384,6 +437,15 @@ func (g *Graph) PartitionEdges(blocks int) *EdgePartition {
 		}
 	}
 	g.buildPairSchedule(p)
+	// Growth tail: replay appended edges in id order through the same
+	// extension path incremental growth uses, so fresh and extended
+	// builds coincide exactly.
+	for id := g.sortedM; id < len(g.edges); id++ {
+		g.extendPartitionLocked(p, id)
+	}
+	if g.sortedM < len(g.edges) {
+		colorPairs(p)
+	}
 	if g.parts == nil {
 		g.parts = make(map[int]*EdgePartition)
 	}
@@ -420,7 +482,18 @@ func (g *Graph) buildPairSchedule(p *EdgePartition) {
 		}
 		return p.Pairs[i].BJ < p.Pairs[j].BJ
 	})
-	// Greedy coloring over the sorted pair order.
+	colorPairs(p)
+}
+
+// colorPairs (re)derives p.Levels by greedy coloring over the stored pair
+// order: each pair takes the smallest level not already holding either of
+// its blocks. The coloring is a pure deterministic function of the pair
+// sequence, and because it is greedy in order, appending pairs at the end
+// of p.Pairs and recoloring reproduces the existing prefix's levels
+// exactly — which is what lets population growth extend a partition
+// without disturbing the schedule already compiled into warm matchers.
+func colorPairs(p *EdgePartition) {
+	p.Levels = nil
 	blockLevels := make([][]bool, p.Blocks) // blockLevels[b][l]: block b busy at level l
 	free := func(b, l int) bool {
 		return l >= len(blockLevels[b]) || !blockLevels[b][l]

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// liveEdges returns the live (non-retired) edge set in canonical sorted
+// order — the topology a grown graph denotes, independent of the
+// append-only id history that produced it.
+func liveEdges(g *Graph) []Edge {
+	var out []Edge
+	for id := 0; id < g.M(); id++ {
+		if !g.EdgeRetired(id) {
+			out = append(out, g.Edge(id))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// neighborSets returns every vertex's sorted neighbor list.
+func neighborSets(g *Graph) [][]int {
+	out := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		ns := g.Neighbors(v)
+		sort.Ints(ns)
+		out[v] = ns
+	}
+	return out
+}
+
+// checkSameTopology asserts that grown and fresh denote the same
+// topology: identical live edge sets, adjacency, components, and
+// id-resolution behavior — even though their edge-id histories differ.
+func checkSameTopology(t *testing.T, grown, fresh *Graph) {
+	t.Helper()
+	if grown.N() != fresh.N() {
+		t.Fatalf("N: grown %d, fresh %d", grown.N(), fresh.N())
+	}
+	if grown.LiveM() != fresh.LiveM() {
+		t.Fatalf("LiveM: grown %d, fresh %d", grown.LiveM(), fresh.LiveM())
+	}
+	ge, fe := liveEdges(grown), liveEdges(fresh)
+	if !reflect.DeepEqual(ge, fe) {
+		t.Fatalf("live edge sets differ\n grown: %v\n fresh: %v", ge, fe)
+	}
+	if !reflect.DeepEqual(neighborSets(grown), neighborSets(fresh)) {
+		t.Fatal("adjacency neighbor sets differ")
+	}
+	if got, want := grown.Components(bitset.Set{}, bitset.Set{}), fresh.Components(bitset.Set{}, bitset.Set{}); !reflect.DeepEqual(got, want) {
+		t.Fatalf("components differ\n grown: %v\n fresh: %v", got, want)
+	}
+	// Every live edge resolves by endpoints in both graphs; every retired
+	// id resolves in neither.
+	for _, e := range ge {
+		if _, ok := grown.EdgeID(e.A, e.B); !ok {
+			t.Fatalf("grown graph cannot resolve live edge %v", e)
+		}
+		if _, ok := fresh.EdgeID(e.A, e.B); !ok {
+			t.Fatalf("fresh graph cannot resolve live edge %v", e)
+		}
+	}
+	for id := 0; id < grown.M(); id++ {
+		if grown.EdgeRetired(id) {
+			e := grown.Edge(id)
+			if got, ok := grown.EdgeID(e.A, e.B); ok && grown.Edge(got) == e && grown.EdgeRetired(got) {
+				t.Fatalf("EdgeID resolved retired id %d", got)
+			}
+		}
+	}
+}
+
+// checkPartitionCoverage asserts the partition invariant on a possibly
+// grown graph: every LIVE edge id appears exactly once across the
+// Interior lists and the boundary Pairs, interior edges have both
+// endpoints in their block, and the level schedule covers every pair
+// once with no block repeated inside a level.
+func checkPartitionCoverage(t *testing.T, g *Graph, blocks int) {
+	t.Helper()
+	p := g.PartitionEdges(blocks)
+	seen := make(map[int]int)
+	for b, ids := range p.Interior {
+		for _, id := range ids {
+			seen[id]++
+			e := g.Edge(id)
+			if p.Block(e.A) != b || p.Block(e.B) != b {
+				t.Fatalf("blocks=%d: interior edge %d (%v) listed in block %d", blocks, id, e, b)
+			}
+		}
+	}
+	for _, pr := range p.Pairs {
+		for _, id := range pr.Edges {
+			seen[id]++
+			e := g.Edge(id)
+			ba, bb := p.Block(e.A), p.Block(e.B)
+			if ba > bb {
+				ba, bb = bb, ba
+			}
+			if ba != pr.BI || bb != pr.BJ {
+				t.Fatalf("blocks=%d: boundary edge %d (%v) in pair (%d,%d), endpoints in (%d,%d)", blocks, id, e, pr.BI, pr.BJ, ba, bb)
+			}
+		}
+	}
+	for id := 0; id < g.M(); id++ {
+		if g.EdgeRetired(id) {
+			continue
+		}
+		if seen[id] != 1 {
+			t.Fatalf("blocks=%d: live edge %d appears %d times in the partition", blocks, id, seen[id])
+		}
+	}
+	// Retired ids may linger in founding Interior/Boundary lists (masks
+	// skip them); they must not be double counted.
+	covered := make(map[int]bool)
+	for lvl, idxs := range p.Levels {
+		used := make(map[int]bool)
+		for _, k := range idxs {
+			if covered[k] {
+				t.Fatalf("blocks=%d: pair %d scheduled twice", blocks, k)
+			}
+			covered[k] = true
+			pr := p.Pairs[k]
+			if used[pr.BI] || used[pr.BJ] {
+				t.Fatalf("blocks=%d: level %d reuses a block for pair (%d,%d)", blocks, lvl, pr.BI, pr.BJ)
+			}
+			used[pr.BI], used[pr.BJ] = true, true
+		}
+	}
+	if len(covered) != len(p.Pairs) {
+		t.Fatalf("blocks=%d: level schedule covers %d of %d pairs", blocks, len(covered), len(p.Pairs))
+	}
+}
+
+// TestSpliceRingMatchesFreshRing: splicing k agents into Ring(n) denotes
+// exactly Ring(n+k).
+func TestSpliceRingMatchesFreshRing(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{3, 1}, {8, 4}, {16, 1}, {5, 7}} {
+		g := Ring(tc.n)
+		gr, err := g.SpliceRing(tc.k)
+		if err != nil {
+			t.Fatalf("SpliceRing(%d) on Ring(%d): %v", tc.k, tc.n, err)
+		}
+		if gr.FirstAgent != tc.n || gr.NewAgents != tc.k {
+			t.Fatalf("growth record %+v, want FirstAgent=%d NewAgents=%d", gr, tc.n, tc.k)
+		}
+		if len(gr.RetiredEdgeIDs) != 1 {
+			t.Fatalf("ring splice retired %d edges, want 1 (the closing edge)", len(gr.RetiredEdgeIDs))
+		}
+		checkSameTopology(t, g, Ring(tc.n+tc.k))
+		for _, b := range []int{1, 2, 3} {
+			checkPartitionCoverage(t, g, b)
+		}
+	}
+}
+
+// TestGrowHypercubeMatchesFreshHypercube: filling the next dimension of
+// Hypercube(d) vertex by vertex denotes exactly Hypercube(d+1) once full
+// (and a valid intermediate graph at every partial fill).
+func TestGrowHypercubeMatchesFreshHypercube(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		n := 1 << uint(d)
+		g := Hypercube(d)
+		if _, err := g.GrowHypercube(n); err != nil {
+			t.Fatalf("GrowHypercube(%d) on Hypercube(%d): %v", n, d, err)
+		}
+		checkSameTopology(t, g, Hypercube(d+1))
+		checkPartitionCoverage(t, g, 2)
+
+		// Partial fill: grow one vertex at a time; every step stays
+		// consistent and the end state still matches the fresh cube.
+		h := Hypercube(d)
+		for i := 0; i < n; i++ {
+			if _, err := h.GrowHypercube(1); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			checkPartitionCoverage(t, h, 3)
+		}
+		checkSameTopology(t, h, Hypercube(d+1))
+	}
+}
+
+// TestAttachPreferentialMatchesFreshBuild: a preferentially grown graph
+// denotes the same topology as a from-scratch graph constructed over its
+// final live edge set, and the partition invariant holds throughout.
+func TestAttachPreferentialMatchesFreshBuild(t *testing.T) {
+	g := Complete(6)
+	rng := rand.New(rand.NewSource(42))
+	gr, err := g.AttachPreferential(5, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.NewAgents != 5 || len(gr.NewEdgeIDs) != 10 || len(gr.RetiredEdgeIDs) != 0 {
+		t.Fatalf("growth record %+v, want 5 agents x 2 links, nothing retired", gr)
+	}
+	fresh, err := New("fresh", g.N(), liveEdges(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameTopology(t, g, fresh)
+	for _, b := range []int{1, 2, 4} {
+		checkPartitionCoverage(t, g, b)
+	}
+
+	// Same seed, same draws: the attachment is a pure function of
+	// (graph, k, m, rng state).
+	g2 := Complete(6)
+	if _, err := g2.AttachPreferential(5, 2, rand.New(rand.NewSource(42))); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(liveEdges(g), liveEdges(g2)) {
+		t.Fatal("same-seed preferential attachments diverged")
+	}
+}
+
+// TestPartitionExtendMatchesFreshBuild is the incremental-index half of
+// the attachment contract: a partition cached BEFORE growth and extended
+// in place by the growth op must equal — field for field, order for
+// order — a partition built from scratch AFTER the same growth. This is
+// what keeps warm matchers (which alias the partition's id lists) valid
+// across joins.
+func TestPartitionExtendMatchesFreshBuild(t *testing.T) {
+	grow := []func(g *Graph) error{
+		func(g *Graph) error { _, err := g.SpliceRing(3); return err },
+		func(g *Graph) error { _, err := g.SpliceRing(2); return err },
+	}
+	for _, blocks := range []int{1, 2, 3, 4} {
+		a, b := Ring(12), Ring(12)
+		pa := a.PartitionEdges(blocks) // cached pre-growth, extended in place
+		for i, op := range grow {
+			if err := op(a); err != nil {
+				t.Fatalf("blocks=%d op %d: %v", blocks, i, err)
+			}
+			if err := op(b); err != nil {
+				t.Fatalf("blocks=%d op %d: %v", blocks, i, err)
+			}
+		}
+		pb := b.PartitionEdges(blocks) // built fresh post-growth
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("blocks=%d: extended partition differs from fresh build\n ext:   %+v\n fresh: %+v", blocks, pa, pb)
+		}
+	}
+}
+
+// TestCloneIsolation: growth on a clone leaves the original untouched,
+// and the clone reproduces the original's topology exactly.
+func TestCloneIsolation(t *testing.T) {
+	g := Ring(10)
+	wantN, wantM := g.N(), g.M()
+	wantEdges := liveEdges(g)
+	c := g.Clone()
+	checkSameTopology(t, c, g)
+	if _, err := c.SpliceRing(4); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != wantN || g.M() != wantM || g.Gen() != 0 {
+		t.Fatalf("growing the clone mutated the original: N=%d M=%d gen=%d", g.N(), g.M(), g.Gen())
+	}
+	if !reflect.DeepEqual(liveEdges(g), wantEdges) {
+		t.Fatal("original edge set changed")
+	}
+	checkSameTopology(t, c, Ring(14))
+}

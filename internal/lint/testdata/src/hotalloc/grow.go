@@ -1,0 +1,56 @@
+// Fixture for the growable-population hot paths: the steady-state
+// guard idiom — a //det:hotpath fast path that tests a counter and
+// delegates all growth work to an unmarked slow function — passes, and
+// allocation on the guarded path itself (paid every round, not once
+// per join) is flagged.
+package hotalloc
+
+type growGraph struct {
+	retiredCount int
+	retired      []bool
+	joinsLeft    int
+}
+
+// edgeRetired mirrors graph.EdgeRetired: a counter test plus an indexed
+// probe, allocation-free, safe on the per-edge matching path.
+//
+//det:hotpath
+func (g *growGraph) edgeRetired(id int) bool {
+	return g.retiredCount != 0 && g.retired[id]
+}
+
+// growthFor mirrors dynamics.Applier.GrowthFor: the steady-state fast
+// path is one counter test; every allocation lives in the unmarked
+// slow function it delegates to, paid at most once per join round.
+//
+//det:hotpath
+func (g *growGraph) growthFor(round int) ([]int, bool) {
+	if g.joinsLeft == 0 {
+		return nil, false
+	}
+	return g.growthSlow(round)
+}
+
+// growthSlow is unmarked: growth-op allocation (fresh id lists,
+// spliced adjacency) is sanctioned off the fast path.
+func (g *growGraph) growthSlow(round int) ([]int, bool) {
+	ids := make([]int, 0, g.joinsLeft)
+	for i := 0; i < g.joinsLeft; i++ {
+		ids = append(ids, round+i)
+	}
+	g.joinsLeft = 0
+	return ids, true
+}
+
+// growthForLeaky is the violation the marker exists to catch: the
+// guarded path allocates per call even on rounds with no join.
+//
+//det:hotpath
+func (g *growGraph) growthForLeaky(round int) ([]int, bool) {
+	probe := make([]int, 1) // want `hotpath growthForLeaky: make allocates per call`
+	probe[0] = round
+	if g.joinsLeft == 0 {
+		return nil, false
+	}
+	return g.growthSlow(round)
+}

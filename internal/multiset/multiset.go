@@ -380,6 +380,14 @@ func (t *Tracker[T]) Replace(olds, news []T) {
 	t.elems = out
 }
 
+// Append inserts the given values into the tracked multiset — the
+// population-growth path: joining agents extend the bag without touching
+// any existing element, so incremental snapshots (and any positional
+// bookkeeping keyed to existing agents) stay valid. It is Replace with an
+// empty removal set; sorted order is repaired by the same O(k log n)
+// merge.
+func (t *Tracker[T]) Append(vals []T) { t.Replace(nil, vals) }
+
 // Merger performs repeated P-way multiset unions into reusable merge
 // buffers — the reduction step of a sharded state layout, where the
 // global snapshot S = S_1 ∪ … ∪ S_P is rebuilt from per-shard sorted

@@ -304,6 +304,17 @@ type runner[T any] struct {
 	// against each round.
 	dyn        *dynamics.Applier
 	frozenVals []T
+
+	// Membership state, populated only when the schedule joins agents or
+	// wakes them amnesiacally: the full initial-state array (founding
+	// population followed by joiners in join order — joiner values and
+	// amnesiac resets both read it positionally), the growth-touched id
+	// scratch folded into the round's changed-id stream, and the
+	// amnesiac-reset repair batch.
+	initVals     []T
+	growE, growA []int
+	amOlds       []T
+	amNews       []T
 }
 
 // matcherKey identifies a cached PairMatcher: the matching it draws is a
@@ -387,8 +398,24 @@ func Run[T any](p core.Problem[T], e env.Environment, initial []T, opts Options)
 // drives; Run itself is RunWith over a single-use Scratch.
 func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initial []T, opts Options) (*Result[T], error) {
 	g := e.Graph()
-	if len(initial) != g.N() {
+	// A join-bearing schedule enlarges the population mid-run: the caller
+	// supplies initial states for the FINAL population — founding agents
+	// first, then joiners in join order — and growth mutates the run's
+	// graph in place (sweep cells clone the pristine topology per run).
+	joiners := 0
+	if opts.Dynamics != nil {
+		joiners = opts.Dynamics.TotalJoiners()
+	}
+	if len(initial) != g.N()+joiners {
+		if joiners > 0 {
+			return nil, fmt.Errorf("sim: %d initial states for %d agents + %d scheduled joiners", len(initial), g.N(), joiners)
+		}
 		return nil, fmt.Errorf("sim: %d initial states for %d agents", len(initial), g.N())
+	}
+	if joiners > 0 {
+		if _, ok := e.(env.Growable); !ok {
+			return nil, fmt.Errorf("sim: dynamics schedule adds %d agents but environment %q cannot grow (env.Growable)", joiners, e.Name())
+		}
 	}
 	if g.N() == 0 {
 		return nil, errors.New("sim: empty system")
@@ -408,7 +435,12 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 	r := &sc.r
 	r.rc = sc.rc
 	r.p, r.e, r.g, r.opts, r.cmp = p, e, g, opts, p.Cmp()
-	r.states = append(r.states[:0], initial...)
+	r.states = append(r.states[:0], initial[:g.N()]...)
+	r.initVals = r.initVals[:0]
+	if joiners > 0 || (opts.Dynamics != nil && opts.Dynamics.Amnesiac()) {
+		r.initVals = append(r.initVals, initial...)
+	}
+	r.growE, r.growA = r.growE[:0], r.growA[:0]
 	if r.seeder == nil {
 		r.seeder = engine.NewSeeder(opts.Seed)
 	} else {
@@ -487,6 +519,10 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			sc.matchers[key] = engine.NewPairMatcher(key.g, key.blocks)
 		}
 		r.matcher = sc.matchers[key]
+		// A cached matcher may have been built before its graph last grew
+		// (a previous run's join); Grow is a generation-checked no-op when
+		// it is current.
+		r.matcher.Grow()
 	}
 
 	if opts.AdversaryFeedback {
@@ -518,8 +554,19 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 	rng := r.seeder.Master()
 	round := 0
 	for ; round < maxRounds; round++ {
-		if res.Converged && opts.StopOnConverged {
+		// A converged run with joins still pending keeps going: the join
+		// retargets convergence to the final population's S*.
+		if res.Converged && opts.StopOnConverged && (r.dyn == nil || !r.dyn.PendingJoins()) {
 			break
+		}
+		// Population growth first — joiners participate in the very round
+		// they arrive: the graph attaches them, the environment, matcher,
+		// probe, and state snapshot grow in place, and the conservation
+		// target is extended per §3.4 (f(f(X) ∪ Y) = f(X ∪ Y)).
+		if r.dyn != nil {
+			if gr, ok := r.dyn.GrowthFor(round); ok {
+				r.applyGrowth(gr, round)
+			}
 		}
 		// Environment transition, then the dynamics overlay: the schedule
 		// fires this round's events and masks its cut edges and crashed
@@ -538,16 +585,26 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			for _, a := range r.dyn.JustCrashed() {
 				r.frozenVals[a] = r.states[a]
 			}
+			// Amnesiac rejoins: every agent woken this round re-enters with
+			// its INITIAL state (§3.4's re-entry model) — a sanctioned
+			// discontinuity, so the variant baseline is rebased; whether the
+			// conservation law survives it is exactly what the monitor then
+			// measures (it does iff f is super-idempotent).
+			if r.dyn.Amnesiac() && len(r.dyn.JustWoken()) > 0 {
+				r.applyAmnesia(r.dyn.JustWoken())
+			}
 		}
 		// Combined touched ids for the effective (post-overlay) masks: the
 		// environment's own flips, plus everything the previous round's
 		// overlay restored at EndRound, plus everything this round's
-		// overlay just suppressed. Only meaningful when exact.
+		// overlay just suppressed, plus this round's growth (new and
+		// retired edges, new agents). Only meaningful when exact.
 		r.touchedE, r.touchedA = r.touchedE[:0], r.touchedA[:0]
 		if exact {
-			r.touchedE = append(append(append(r.touchedE, envE...), r.prevOverlayE...), r.curOverlayE()...)
-			r.touchedA = append(append(append(r.touchedA, envA...), r.prevOverlayA...), r.curOverlayA()...)
+			r.touchedE = append(append(append(append(r.touchedE, envE...), r.prevOverlayE...), r.curOverlayE()...), r.growE...)
+			r.touchedA = append(append(append(append(r.touchedA, envA...), r.prevOverlayA...), r.curOverlayA()...), r.growA...)
 		}
+		r.growE, r.growA = r.growE[:0], r.growA[:0]
 		if exact {
 			res.Probe.ObserveDelta(es, r.touchedE)
 		} else {
@@ -704,6 +761,85 @@ func (r *runner[T]) applyDelta(members []int, olds, news []T, changed bool) {
 			r.shards.Stage(a, olds[i], news[i])
 		}
 	}
+}
+
+// applyGrowth threads one round's population growth through every layer
+// that was sized to the old population: the environment's masks, the
+// fairness probe, the positional state array and its incremental
+// snapshot (appended, never rebuilt — last-shard rule), the pairwise
+// matcher's buckets, the conservation target (§3.4), the convergence
+// detector, and the variant baseline. The graph itself already grew —
+// the applier's GrowthFor mutated it through the incremental attachment
+// paths — so this is purely the engine-side catch-up, O(growth), not
+// O(population).
+func (r *runner[T]) applyGrowth(gr graph.Growth, round int) {
+	r.e.(env.Growable).Grow() // guaranteed Growable by the RunWith gate
+	r.res.Probe.Grow(r.g.M(), round)
+	joined := r.initVals[gr.FirstAgent : gr.FirstAgent+gr.NewAgents]
+	r.states = append(r.states, joined...)
+	if r.shards != nil {
+		r.shards.Append(joined)
+	} else {
+		r.tracker.Append(joined)
+	}
+	var zero T
+	for len(r.frozenVals) < r.g.N() {
+		r.frozenVals = append(r.frozenVals, zero)
+	}
+	if r.matcher != nil {
+		r.matcher.Grow()
+	}
+	// The run now answers for the FINAL population: the target absorbs
+	// the joiners' values (exact for super-idempotent f), convergence
+	// restarts against the new target, and the variant baseline restarts
+	// from the grown state (fresh input may legitimately raise h).
+	r.mon.AdmitJoin(joined)
+	r.conv.Retarget(r.mon.Target())
+	r.res.Target = r.mon.Target()
+	r.res.Converged = false
+	r.mon.RebaseVariant(r.snapshot())
+	// Feed the structural delta into this round's changed-id stream and
+	// drop the cached partition — growth touched it.
+	r.growE = append(append(r.growE, gr.NewEdgeIDs...), gr.RetiredEdgeIDs...)
+	for a := gr.FirstAgent; a < gr.FirstAgent+gr.NewAgents; a++ {
+		r.growA = append(r.growA, a)
+	}
+	r.compsValid = false
+}
+
+// applyAmnesia resets every agent woken this round to its initial state
+// and repairs the incremental snapshot accordingly. The sharded layout
+// stages and flushes immediately so the round's own group steps still
+// stage each agent at most once per flush; the single-tracker layout
+// batches one Replace. The variant baseline is rebased because the reset
+// is a sanctioned discontinuity — the conservation law is deliberately
+// NOT touched, so the monitor reports exactly the violations §3.4
+// predicts for non-super-idempotent f.
+func (r *runner[T]) applyAmnesia(woken []int) {
+	r.amOlds, r.amNews = r.amOlds[:0], r.amNews[:0]
+	changed := false
+	for _, a := range woken {
+		if r.cmp(r.states[a], r.initVals[a]) == 0 {
+			continue // the frozen state IS the initial state: nothing to repair
+		}
+		changed = true
+		if r.shards != nil {
+			r.shards.Stage(a, r.states[a], r.initVals[a])
+		} else {
+			r.amOlds = append(r.amOlds, r.states[a])
+			r.amNews = append(r.amNews, r.initVals[a])
+		}
+		r.states[a] = r.initVals[a]
+	}
+	if !changed {
+		return
+	}
+	if r.shards != nil {
+		r.shards.Flush(r.pool)
+	} else {
+		r.tracker.Replace(r.amOlds, r.amNews)
+	}
+	r.mon.RebaseVariant(r.snapshot())
 }
 
 // classifyStep compares a group's before and after states as multisets.

@@ -70,11 +70,25 @@ func NewWorker() *Worker {
 // sim.Run(problem, env, initial, cell.Opts) — the warm-run contract of
 // sim.RunWith.
 func (w *Worker) Do(c Cell) (CellResult, error) {
-	n := c.Graph.N()
-	p := c.Problem.New(n)
+	rg := c.Graph
+	n := rg.N()
+	// A join-bearing schedule grows its graph mid-run, and grid cells of
+	// the same (topology, size) share one graph instance — so such a cell
+	// runs on a private clone of the pristine topology, and its problem
+	// and initial states are sized for the FINAL population (founding
+	// agents first, joiners after, in join order — the layout sim.RunWith
+	// consumes).
+	joiners := 0
+	if c.Opts.Dynamics != nil {
+		joiners = c.Opts.Dynamics.TotalJoiners()
+	}
+	if joiners > 0 {
+		rg = rg.Clone()
+	}
+	p := c.Problem.New(n + joiners)
 	w.initRng.Seed(c.InitSeed)
-	initial := c.Problem.Init(n, w.initRng)
-	e := c.Env.New(c.Graph)
+	initial := c.Problem.Init(n+joiners, w.initRng)
+	e := c.Env.New(rg)
 
 	//lint:ignore timenow CellResult.Duration is documented as the one machine-dependent field; the Table excludes it and nothing downstream branches on it
 	start := time.Now()

@@ -432,3 +432,128 @@ func TestSweepDynamicsCellsMatchIndependentRuns(t *testing.T) {
 		}
 	}
 }
+
+// membershipAxes is the membership grid the join-axis tests share:
+// join and amnesiac-rejoin families next to a plain cell and a no-op
+// schedule-free cell.
+func membershipAxes() Axes {
+	return Axes{
+		Envs:     []env.Desc{env.ChurnDesc(0.9)},
+		Problems: []problems.Desc{problems.MinDesc()},
+		Topos:    []Topo{RingTopo()},
+		Sizes:    []int{24},
+		Dynamics: []dynamics.Desc{
+			dynamics.NoneDesc(),
+			dynamics.JoinDesc(4, "ring", 8),
+			dynamics.AmnesiacFlapDesc(3, 2, 12),
+		},
+		Modes:     []sim.Mode{sim.ComponentMode, sim.PairwiseMode},
+		Seeds:     3,
+		BaseSeed:  31,
+		MaxRounds: 60_000,
+	}
+}
+
+// TestSweepMembershipDeterministicAcrossWorkers is the sweep half of the
+// growable-population contract: a grid with a join axis must produce
+// identical cell results for every worker count, join cells must report
+// their joins and a grown final population, and — because cells of one
+// (topology, size) share a pristine graph instance — running join cells
+// must never mutate that shared graph (each join cell runs on a private
+// clone).
+func TestSweepMembershipDeterministicAcrossWorkers(t *testing.T) {
+	grid, err := membershipAxes().Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 * 1 * 1 * 1 * 3 * 2 * 3; len(grid.Cells) != want {
+		t.Fatalf("grid has %d cells, want %d", len(grid.Cells), want)
+	}
+	var first *Result
+	for _, workers := range []int{1, 2, 0} {
+		res, err := Run(grid, Options{Workers: workers, KeepFinal: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		for i := range res.Cells {
+			if got, want := dynFingerprint(res.Cells[i]), dynFingerprint(first.Cells[i]); got != want {
+				t.Fatalf("workers=%d: cell %d diverged\ngot:  %s\nwant: %s", workers, i, got, want)
+			}
+		}
+	}
+	for _, c := range grid.Cells {
+		if c.Graph.Gen() != 0 || c.Graph.N() != 24 {
+			t.Fatalf("cell %d mutated the shared pristine graph: gen=%d n=%d", c.Index, c.Graph.Gen(), c.Graph.N())
+		}
+	}
+	sawJoin := false
+	for _, c := range first.Cells {
+		if c.Violations != 0 {
+			t.Errorf("cell %d (%s): %d violations", c.Cell.Index, c.Cell.Dyn.Name, c.Violations)
+		}
+		if !c.Converged {
+			t.Errorf("cell %d (%s/%s): did not reconverge", c.Cell.Index, c.Cell.Dyn.Name, c.Cell.Mode)
+		}
+		joiners := 0
+		if c.Cell.Opts.Dynamics != nil {
+			joiners = c.Cell.Opts.Dynamics.TotalJoiners()
+		}
+		if want := 24 + joiners; len(c.Final) != want {
+			t.Errorf("cell %d (%s): final population %d, want %d", c.Cell.Index, c.Cell.Dyn.Name, len(c.Final), want)
+		}
+		if joiners > 0 {
+			sawJoin = true
+			if c.Dyn == nil || c.Dyn.Joins != joiners {
+				t.Errorf("cell %d: dynamics report %+v, want Joins=%d", c.Cell.Index, c.Dyn, joiners)
+			}
+		}
+	}
+	if !sawJoin {
+		t.Fatal("grid exercised no join cells")
+	}
+}
+
+// TestSweepMembershipCellsMatchIndependentRuns extends the cold-run
+// golden contract to join cells: rebuilding a join cell from its own
+// fields — final-population problem sizing, a private graph clone — must
+// reproduce the grid result bit for bit.
+func TestSweepMembershipCellsMatchIndependentRuns(t *testing.T) {
+	grid, err := membershipAxes().Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(grid, Options{KeepFinal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range grid.Cells {
+		rg := c.Graph
+		joiners := 0
+		if c.Opts.Dynamics != nil {
+			joiners = c.Opts.Dynamics.TotalJoiners()
+		}
+		if joiners > 0 {
+			rg = rg.Clone()
+		}
+		n := rg.N() + joiners
+		p := c.Problem.New(n)
+		initial := c.Problem.Init(n, rand.New(rand.NewSource(c.InitSeed)))
+		cold, err := sim.Run[int](p, c.Env.New(rg), initial, c.Opts)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		want := CellResult{
+			Cell: c, Converged: cold.Converged, Round: cold.Round, Rounds: cold.Rounds,
+			GroupSteps: cold.GroupSteps, Messages: cold.Messages,
+			Violations: len(cold.Violations), Final: cold.Final, Dyn: cold.Dynamics,
+		}
+		if got, wantFP := dynFingerprint(res.Cells[i]), dynFingerprint(want); got != wantFP {
+			t.Errorf("cell %d (%s): grid diverged from independent run\ngrid: %s\ncold: %s",
+				i, c.Dyn.Name, got, wantFP)
+		}
+	}
+}

@@ -43,12 +43,23 @@
 # and fails, and one that re-pays any O(N) or O(E) buffer per round
 # blows through it by orders of magnitude.
 #
+# BenchmarkJoinSplice pins the growable-population attachment path: a
+# warm worker runs a Ring(4096) pairwise cell that splices 8 agents in
+# at round 4 (32 fixed rounds per op). Each op pays per-run bookkeeping
+# plus the join machinery — the clone of the pristine grid graph, the
+# ring splice, the extended cached partition, matcher/mask/tracker
+# growth, and the joiners' identity-keyed seeder substreams — all of
+# which must be O(joined subgraph + changed edges). The fixed seed
+# measures ~267 allocs/op; the budget of 400 sits ~50% above, so a
+# regression that allocates per agent (4096 would blow through it) or
+# per round after the splice fails loudly.
+#
 # Benchmarks run one iteration with a fixed seed, so allocs/op is a stable
 # budget number for the simulator and a bounded-noise one for the runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$|BenchmarkSimPairwiseDelta1e5$' -benchtime=1x -benchmem .)
+out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$|BenchmarkSimPairwiseDelta1e5$|BenchmarkJoinSplice$' -benchtime=1x -benchmem .)
 echo "$out"
 
 fail=0
@@ -84,4 +95,5 @@ check BenchmarkAsyncRuntimeMin 1200
 check BenchmarkSweepGrid 1200
 check BenchmarkSimWithDynamics 1600
 check BenchmarkSimPairwiseDelta1e5 400
+check BenchmarkJoinSplice 400
 exit $fail
