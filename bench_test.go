@@ -23,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	ms "repro/internal/multiset"
+	"repro/internal/obs"
 	"repro/internal/problems"
 	"repro/internal/sweep"
 )
@@ -170,6 +171,18 @@ func BenchmarkSimPairwiseSharded4k(b *testing.B) {
 // round's index maintenance is O(changes) while the matching draw itself
 // remains the algorithm's O(usable edges).
 func benchWarmPairwiseCell(b *testing.B, w *sweep.Worker, g *Graph, rounds int) {
+	benchWarmPairwiseCellProbed(b, w, g, rounds, nil)
+}
+
+// benchWarmPairwiseCellProbed is benchWarmPairwiseCell with an optional
+// observability probe attached to the MEASURED iterations (the warm-up
+// run stays unprobed, so the probe's aggregates cover exactly
+// rounds×b.N rounds). Every run reports rounds/op as a benchmark metric
+// — scripts/bench_record.sh parses it instead of hardcoding the round
+// count — and a probed run additionally reports per-phase ns_*/round
+// metrics, which bench_record.sh records as the phase_split row of
+// BENCH_roundscale.json.
+func benchWarmPairwiseCellProbed(b *testing.B, w *sweep.Worker, g *Graph, rounds int, probe *obs.Probe) {
 	cell := sweep.Cell{
 		Env:      sweepenv.ChurnDesc(0.999),
 		Problem:  problems.MinDesc(),
@@ -183,12 +196,25 @@ func benchWarmPairwiseCell(b *testing.B, w *sweep.Worker, g *Graph, rounds int) 
 	if _, err := w.Do(cell); err != nil { // warm the engine scratch
 		b.Fatal(err)
 	}
+	cell.Opts.Probe = probe
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cr, err := w.Do(cell)
 		if err != nil || cr.Rounds != rounds {
 			b.Fatalf("cell run failed: %v (rounds=%d)", err, cr.Rounds)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rounds), "rounds/op")
+	if probe != nil {
+		rep := probe.Report()
+		total := float64(rounds) * float64(b.N)
+		for _, ph := range []obs.Phase{
+			obs.PhaseEnvStep, obs.PhaseTouched, obs.PhaseMatcherUpdate,
+			obs.PhaseMatch, obs.PhaseGroupStep, obs.PhaseMonitor,
+		} {
+			b.ReportMetric(float64(rep.PhaseNs(ph))/total, "ns_"+ph.String()+"/round")
 		}
 	}
 }
@@ -219,6 +245,21 @@ func BenchmarkSimPairwiseDelta1e5(b *testing.B) {
 	w := sweep.NewWorker()
 	defer w.Close()
 	benchWarmPairwiseCell(b, w, Ring(100_000), 64)
+}
+
+// BenchmarkSimRoundProbed is the probes-ON twin of the round-scale
+// family: the same warm pairwise delta cell at N = 10⁵, 32 rounds per
+// op, with an obs.Probe (real clock, no trace sink) attached to every
+// measured run. It serves two scripts: scripts/check_alloc_budget.sh
+// enforces a hard allocs/op budget — the probe's Begin/End/Add hot path
+// must stay allocation-free, so the budget matches the unprobed cell's
+// per-run bookkeeping — and scripts/bench_record.sh records the
+// ns_*/round metrics as the phase_split row of BENCH_roundscale.json.
+func BenchmarkSimRoundProbed(b *testing.B) {
+	w := sweep.NewWorker()
+	defer w.Close()
+	probe := obs.NewProbe(obs.Config{})
+	benchWarmPairwiseCellProbed(b, w, Ring(100_000), 32, probe)
 }
 
 // BenchmarkE15Scaling regenerates the 10⁴–10⁵-agent scaling study.

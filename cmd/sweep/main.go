@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/dynamics"
 	"repro/internal/env"
+	"repro/internal/obs"
 	"repro/internal/problems"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -53,6 +54,9 @@ func main() {
 	cells := flag.String("cells", "", "cell-index filter, e.g. 0-9,42,100-199 (empty = the whole grid)")
 	format := flag.String("format", "markdown", "output format: markdown or csv")
 	out := flag.String("o", "", "write the table to this file instead of stdout")
+	trace := flag.String("trace", "", "write a JSONL observability trace (one event per engine phase and per cell) to this file; results are byte-identical with or without it")
+	phaseMetrics := flag.Bool("phase-metrics", false, "print merged per-phase timing and counter tables to stderr after the run")
+	pprofLabels := flag.Bool("pprof-labels", false, "attach pprof phase labels to probed cells so CPU profiles attribute samples to engine phases")
 	flag.Parse()
 
 	// Validate everything — including the output format — before the
@@ -73,7 +77,28 @@ func main() {
 			fail(err)
 		}
 	}
-	res, err := sweep.Run(grid, sweep.Options{Workers: *workers})
+	// The trace sink is part of up-front validation: an unwritable -trace
+	// path must fail here, before any cell runs, not after the grid.
+	var tw *obs.TraceWriter
+	var traceFile *os.File
+	if *trace != "" {
+		traceFile, err = openTraceFile(*trace)
+		if err != nil {
+			fail(err)
+		}
+		tw = obs.NewTraceWriter(traceFile)
+	}
+	sopts := sweep.Options{Workers: *workers}
+	if tw != nil || *phaseMetrics || *pprofLabels {
+		// One probe per worker slot (obs timers are single-goroutine),
+		// sharing the trace sink; ObsReport merges them after the run.
+		sopts.NewProbe = func(worker int) *obs.Probe {
+			return obs.NewProbe(obs.Config{Trace: tw, Shard: worker, PprofLabels: *pprofLabels})
+		}
+	}
+	runner := sweep.NewRunner(sopts)
+	defer runner.Close()
+	res, err := runner.Run(grid)
 	if err != nil {
 		fail(err)
 	}
@@ -99,6 +124,33 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d cells, %d converged, %v wall-clock\n",
 		len(res.Cells), converged, res.Elapsed.Round(1e6))
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			fail(fmt.Errorf("sweep: writing -trace %q: %w", *trace, err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fail(fmt.Errorf("sweep: closing -trace %q: %w", *trace, err))
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote trace %s\n", *trace)
+	}
+	if *phaseMetrics {
+		// Stderr, like the summary line: stdout carries the result table
+		// only, so enabling metrics changes no result bytes.
+		rep := runner.ObsReport()
+		fmt.Fprintf(os.Stderr, "\nphase timing (all workers merged):\n%s\ncounters:\n%s",
+			rep.PhaseTable(), rep.CounterTable())
+	}
+}
+
+// openTraceFile validates and opens the -trace path up front — before any
+// cell runs — so a typo'd or unwritable path fails immediately with a
+// clear error instead of discarding a long grid's trace at the end.
+func openTraceFile(path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cannot write -trace %q: %w", path, err)
+	}
+	return f, nil
 }
 
 // buildAxes parses every axis flag through the env/problems/dynamics/

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -138,5 +140,39 @@ func TestFilterCells(t *testing.T) {
 		if _, err := filterCells(grid, bad); err == nil {
 			t.Errorf("filterCells(%q): expected an error", bad)
 		}
+	}
+}
+
+// TestOpenTraceFileRejectsUnwritablePath pins the up-front -trace
+// validation: a path that cannot be created fails immediately — before
+// any cell runs — with an error naming both the flag and the path, and a
+// writable path opens cleanly.
+func TestOpenTraceFileRejectsUnwritablePath(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "no-such-subdir", "trace.jsonl")
+	if _, err := openTraceFile(bad); err == nil {
+		t.Fatalf("openTraceFile(%q): expected an error", bad)
+	} else {
+		for _, want := range []string{"-trace", bad} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not name %q", err, want)
+			}
+		}
+	}
+	// A directory is unwritable as a file too — same loud failure.
+	if _, err := openTraceFile(dir); err == nil {
+		t.Fatalf("openTraceFile(%q) on a directory: expected an error", dir)
+	}
+
+	good := filepath.Join(dir, "trace.jsonl")
+	f, err := openTraceFile(good)
+	if err != nil {
+		t.Fatalf("openTraceFile(%q): %v", good, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(good); err != nil {
+		t.Fatalf("trace file not created: %v", err)
 	}
 }

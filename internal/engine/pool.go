@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Pool is a persistent worker pool for data-parallel group steps. It
@@ -29,6 +31,7 @@ import (
 type Pool struct {
 	size      int
 	threshold int
+	probe     *obs.Probe
 
 	startOnce sync.Once
 	tokens    chan struct{}
@@ -62,6 +65,13 @@ func (p *Pool) Size() int { return p.size }
 // of rebuilt. Must not be called concurrently with Do/DoAll.
 func (p *Pool) SetThreshold(threshold int) { p.threshold = threshold }
 
+// SetProbe attaches (or, with nil, detaches) an observability probe
+// recording fan-out occupancy: engaged batches, items spanned, serial
+// fallbacks, and extra worker slots granted. Like SetThreshold it is
+// per-run configuration on a possibly warm pool; must not be called
+// concurrently with Do/DoAll. Probes observe scheduling, never alter it.
+func (p *Pool) SetProbe(probe *obs.Probe) { p.probe = probe }
+
 // Do runs fn(worker, i) for every i in [0, n) and returns when all calls
 // have finished. Calls may run concurrently across distinct worker
 // indices; the caller participates as worker 0. Do must not be called
@@ -90,6 +100,15 @@ func (p *Pool) run(n int, fn func(worker, i int), engage bool) {
 			want = n - 1 // never wake more workers than items beyond the caller's
 		}
 		extra = AcquireSlots(want)
+	}
+	if p.probe != nil {
+		p.probe.Add(obs.CounterPoolItems, int64(n))
+		if extra == 0 {
+			p.probe.Add(obs.CounterPoolSerial, 1)
+		} else {
+			p.probe.Add(obs.CounterPoolBatches, 1)
+			p.probe.Add(obs.CounterPoolSlots, int64(extra))
+		}
 	}
 	if extra == 0 {
 		for i := 0; i < n; i++ {

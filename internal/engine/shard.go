@@ -3,6 +3,7 @@ package engine
 import (
 	"repro/internal/core"
 	ms "repro/internal/multiset"
+	"repro/internal/obs"
 )
 
 // Shards is the sharded global-state snapshot shared by the engines: the
@@ -35,7 +36,14 @@ type Shards[T any] struct {
 	// views is reusable scratch for handing the shard views to the merger.
 	views  []ms.Multiset[T]
 	merger *ms.Merger[T]
+	probe  *obs.Probe
 }
+
+// SetProbe attaches (or, with nil, detaches) an observability probe
+// recording flush/merge activity: flushes, staged deltas drained, and
+// P-way view merges. Per-run configuration on a possibly warm Shards;
+// survives Reset. Probes observe, they never change what is flushed.
+func (s *Shards[T]) SetProbe(probe *obs.Probe) { s.probe = probe }
 
 // NewShards builds a sharded snapshot of the given positional states
 // split into p contiguous blocks (p is clamped to [1, len(states)]).
@@ -167,6 +175,14 @@ func (s *Shards[T]) Stage(agent int, oldV, newV T) {
 // trackers, disjoint staging), so they fan out across the pool; results
 // do not depend on scheduling.
 func (s *Shards[T]) Flush(pool *Pool) {
+	if s.probe != nil {
+		staged := 0
+		for i := range s.olds {
+			staged += len(s.olds[i])
+		}
+		s.probe.Add(obs.CounterShardFlushes, 1)
+		s.probe.Add(obs.CounterStagedDeltas, int64(staged))
+	}
 	pool.DoAll(len(s.trackers), func(_, i int) {
 		s.trackers[i].Replace(s.olds[i], s.news[i])
 		s.olds[i] = s.olds[i][:0]
@@ -182,6 +198,9 @@ func (s *Shards[T]) ShardView(i int) ms.Multiset[T] { return s.trackers[i].View(
 // P-way ∪ of the paper, into a buffer reused across rounds. The view is
 // invalidated by the next View or Flush call.
 func (s *Shards[T]) View() ms.Multiset[T] {
+	if s.probe != nil {
+		s.probe.Add(obs.CounterShardMerges, 1)
+	}
 	for i, t := range s.trackers {
 		s.views[i] = t.View()
 	}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/metrics"
 	ms "repro/internal/multiset"
+	"repro/internal/obs"
 	"repro/internal/problems"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -39,6 +40,14 @@ type Config struct {
 	Seeds int
 	// Quick shrinks sweeps for fast test runs.
 	Quick bool
+	// Obs, when non-nil, is the observability probe instrumented sections
+	// attach to their measured runs (E18 brackets each round-cost cell
+	// with it, so its phase timers and trace events land here).
+	// cmd/experiments builds one from -trace / -phase-metrics /
+	// -pprof-labels; nil makes such sections use a private probe, which
+	// still feeds their phase tables. Observe-never-perturb: section
+	// results are identical either way.
+	Obs *obs.Probe
 }
 
 // DefaultConfig returns the configuration used to produce EXPERIMENTS.md.
@@ -1281,9 +1290,21 @@ func E18RoundCost(cfg Config) Section {
 
 	w := sweep.NewWorker()
 	defer w.Close()
+	// The observability probe supplies the ns_per_phase breakdown: each
+	// measured cell runs with the probe attached and the per-cell delta of
+	// its phase timers (Report().Sub) fills the phase columns. A caller
+	// probe (cfg.Obs — cmd/experiments' -trace/-phase-metrics plumbing)
+	// is used when present so trace events land in the requested sink.
+	probe := cfg.Obs
+	if probe == nil {
+		probe = obs.NewProbe(obs.Config{})
+	}
+	phaseCols := []obs.Phase{obs.PhaseEnvStep, obs.PhaseMatcherUpdate,
+		obs.PhaseMatch, obs.PhaseGroupStep, obs.PhaseMonitor}
 	shape := true
 	t := metrics.NewTable("graph family", "N", "rounds", "wall-clock",
-		"ns/round", "heap allocs", "allocs/round")
+		"ns/round", "heap allocs", "allocs/round",
+		"env ns/rd", "update ns/rd", "match ns/rd", "step ns/rd", "monitor ns/rd")
 	var aprFirst, aprLast float64
 	for i, c := range cells {
 		n := c.g.N()
@@ -1303,17 +1324,21 @@ func E18RoundCost(cfg Config) Section {
 		// warm regime the benchmarks pin.
 		if _, err := w.Do(cellSpec); err != nil {
 			shape = false
-			t.AddRowf(c.family, n, "FAIL", "—", "—", "—", "—")
+			t.AddRowf(c.family, n, "FAIL", "—", "—", "—", "—", "—", "—", "—", "—", "—")
 			continue
 		}
 		var m0, m1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
+		snap := probe.Report()
+		cellSpec.Opts.Probe = probe // measured run only: the warm-up run stays unprobed
 		cr, err := w.Do(cellSpec)
+		cellSpec.Opts.Probe = nil
+		phases := probe.Report().Sub(snap)
 		runtime.ReadMemStats(&m1)
 		if err != nil || cr.Rounds != rounds || cr.Violations != 0 {
 			shape = false
-			t.AddRowf(c.family, n, "FAIL", "—", "—", "—", "—")
+			t.AddRowf(c.family, n, "FAIL", "—", "—", "—", "—", "—", "—", "—", "—", "—")
 			continue
 		}
 		allocs := m1.Mallocs - m0.Mallocs
@@ -1325,9 +1350,13 @@ func E18RoundCost(cfg Config) Section {
 		if c.g.N() == 1_000_000 && cr.Duration > 60*time.Second {
 			shape = false // the headline cell must stay interactive
 		}
-		t.AddRowf(c.family, n, cr.Rounds,
+		row := []any{c.family, n, cr.Rounds,
 			cr.Duration.Round(time.Millisecond).String(),
-			cr.Duration.Nanoseconds()/int64(rounds), allocs, fmt.Sprintf("%.1f", apr))
+			cr.Duration.Nanoseconds()/int64(rounds), allocs, fmt.Sprintf("%.1f", apr)}
+		for _, ph := range phaseCols {
+			row = append(row, phases.PhaseNs(ph)/int64(rounds))
+		}
+		t.AddRowf(row...)
 	}
 	// Flat means "not a function of graph size": across a 100× size range
 	// the per-round allocation count may wiggle with per-run bookkeeping
@@ -1352,6 +1381,15 @@ func E18RoundCost(cfg Config) Section {
 		"random maximal matching over every usable edge — the algorithm's own\n" +
 		"work, which the tree-ordered parallel reconciliation fans out across\n" +
 		"blocks without changing a single drawn bit.\n")
+	b.WriteString("\nThe ns_per_phase columns come from the observability probe\n" +
+		"(internal/obs) attached to each measured run: the O(N)-per-round work\n" +
+		"— `step` (group steps over matched pairs) and `monitor` (shard flush,\n" +
+		"merged snapshot, conservation check) — carries the round, `match` (the\n" +
+		"matching draw over usable edges) sits next, and the O(changes) phases\n" +
+		"(`env`, `update`) stay orders of magnitude below them, which is the\n" +
+		"delta index's contribution in one row. Attaching the probe changes no\n" +
+		"result bytes. Aggregate timing across the measured cells:\n\n")
+	b.WriteString(probe.Report().PhaseTable().String())
 	return Section{
 		ID:    "E18",
 		Title: "Round-cost study — O(changes) delta-indexed rounds at 10⁶ agents",

@@ -1,0 +1,30 @@
+// Fixture for the observability-probe contract: flat Begin/End/Add
+// calls are the sanctioned instrumentation shape inside //det:hotpath
+// functions (nil-receiver-safe, allocation-free), while wrapping the
+// instrumented work in a closure passed to the probe allocates per call
+// and is flagged.
+package hotalloc
+
+// Probe stands in for internal/obs.Probe.
+type Probe struct{}
+
+func (p *Probe) Begin(ph int)       {}
+func (p *Probe) End(ph int)         {}
+func (p *Probe) Add(c int, n int64) {}
+
+// Scoped is the tempting-but-wrong API shape: timing a section by
+// passing it as a callback.
+func (p *Probe) Scoped(ph int, f func()) { f() }
+
+//det:hotpath
+func hotProbed(p *Probe, ids []int) {
+	// The sanctioned shape: flat bracket calls, no allocation.
+	p.Begin(1)
+	p.Add(0, int64(len(ids)))
+	p.End(1)
+	// The flagged shape: a closure literal handed to the probe heaps a
+	// func value (and captures) on every round.
+	p.Scoped(1, func() { // want `hotpath hotProbed: closure literal allocates`
+		p.Add(0, 1)
+	})
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilProbeIsInert(t *testing.T) {
+	var p *Probe
+	p.BeginRound(3)
+	p.Begin(PhaseMatch)
+	p.End(PhaseMatch)
+	p.ObserveNs(PhaseEnvStep, 10)
+	p.Add(CounterGroups, 5)
+	p.Cell(0, 100)
+	if got := p.Report(); got != (RoundReport{}) {
+		t.Fatalf("nil probe report = %+v, want zero", got)
+	}
+	var tw *TraceWriter
+	tw.Phase(0, 0, PhaseMatch, 1)
+	tw.Cell(0, 0, 1)
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("nil TraceWriter.Flush = %v", err)
+	}
+}
+
+func TestPhaseTimingWithFakeClock(t *testing.T) {
+	p := NewProbe(Config{Clock: &FakeClock{Step: 100}})
+	for round := 0; round < 4; round++ {
+		p.BeginRound(round)
+		p.Begin(PhaseMatch)
+		p.End(PhaseMatch) // two Now calls 100ns apart
+	}
+	rep := p.Report()
+	if got := rep.Rounds(); got != 4 {
+		t.Fatalf("rounds = %d, want 4", got)
+	}
+	s := rep.Phases[PhaseMatch]
+	if s.Count != 4 || s.TotalNs != 400 || s.MaxNs != 100 {
+		t.Fatalf("match stats = %+v, want count 4 total 400 max 100", s)
+	}
+	// 100ns lands in bucket bits.Len64(100) = 7, i.e. [64,128).
+	if s.Hist[7] != 4 {
+		t.Fatalf("hist = %v, want 4 segments in bucket 7", s.Hist)
+	}
+	if got := s.MeanNs(); got != 100 {
+		t.Fatalf("mean = %v, want 100", got)
+	}
+	if got := s.QuantileNs(0.99); got != 128 {
+		t.Fatalf("p99 bound = %d, want bucket edge 128", got)
+	}
+}
+
+func TestNestedPhasesTimeIndependently(t *testing.T) {
+	c := &FakeClock{Step: 10}
+	p := NewProbe(Config{Clock: c})
+	p.Begin(PhaseCell)  // t=10
+	p.Begin(PhaseMatch) // t=20
+	p.End(PhaseMatch)   // t=30 → 10ns
+	p.End(PhaseCell)    // t=40 → 30ns
+	rep := p.Report()
+	if got := rep.Phases[PhaseMatch].TotalNs; got != 10 {
+		t.Fatalf("inner phase = %dns, want 10", got)
+	}
+	if got := rep.Phases[PhaseCell].TotalNs; got != 30 {
+		t.Fatalf("outer phase = %dns, want 30", got)
+	}
+}
+
+func TestCountersAreConcurrencySafe(t *testing.T) {
+	p := NewProbe(Config{Clock: &FakeClock{Step: 1}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Add(CounterExchInitiate, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Report().Counters[CounterExchInitiate]; got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestTraceWriterEmitsValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	p := NewProbe(Config{Clock: &FakeClock{Step: 7}, Trace: tw, Shard: 2})
+	p.BeginRound(5)
+	p.Begin(PhaseEnvStep)
+	p.End(PhaseEnvStep)
+	p.Cell(11, 1234)
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var phase struct {
+		Event string `json:"event"`
+		Shard int    `json:"shard"`
+		Round int    `json:"round"`
+		Phase string `json:"phase"`
+		Ns    int64  `json:"ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &phase); err != nil {
+		t.Fatalf("phase line is not JSON: %v\n%s", err, lines[0])
+	}
+	if phase.Event != "phase" || phase.Shard != 2 || phase.Round != 5 || phase.Phase != "env" || phase.Ns != 7 {
+		t.Fatalf("phase event = %+v", phase)
+	}
+	var cell struct {
+		Event string `json:"event"`
+		Shard int    `json:"shard"`
+		Cell  int    `json:"cell"`
+		Ns    int64  `json:"ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &cell); err != nil {
+		t.Fatalf("cell line is not JSON: %v\n%s", err, lines[1])
+	}
+	if cell.Event != "cell" || cell.Shard != 2 || cell.Cell != 11 || cell.Ns != 1234 {
+		t.Fatalf("cell event = %+v", cell)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	return 0, io.ErrClosedPipe
+}
+
+func TestTraceWriterLatchesFirstError(t *testing.T) {
+	tw := NewTraceWriter(&failWriter{})
+	tw.Phase(0, 0, PhaseMatch, 1)
+	if err := tw.Flush(); err == nil {
+		t.Fatal("want error from failing writer")
+	}
+	if tw.Err() == nil {
+		t.Fatal("Err() should latch the failure")
+	}
+}
+
+func TestReportSubAndMerge(t *testing.T) {
+	p := NewProbe(Config{Clock: &FakeClock{Step: 50}})
+	p.BeginRound(0)
+	p.Begin(PhaseMatch)
+	p.End(PhaseMatch)
+	p.Add(CounterGroups, 3)
+	snap := p.Report()
+	p.BeginRound(1)
+	p.Begin(PhaseMatch)
+	p.End(PhaseMatch)
+	p.Add(CounterGroups, 4)
+	delta := p.Report().Sub(snap)
+	if delta.Rounds() != 1 || delta.Counters[CounterGroups] != 4 {
+		t.Fatalf("delta = rounds %d groups %d, want 1/4", delta.Rounds(), delta.Counters[CounterGroups])
+	}
+	if delta.Phases[PhaseMatch].Count != 1 || delta.Phases[PhaseMatch].TotalNs != 50 {
+		t.Fatalf("delta match = %+v, want count 1 total 50", delta.Phases[PhaseMatch])
+	}
+	merged := snap.Merge(delta)
+	if merged.Rounds() != 2 || merged.Counters[CounterGroups] != 7 {
+		t.Fatalf("merged = rounds %d groups %d, want 2/7", merged.Rounds(), merged.Counters[CounterGroups])
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	p := NewProbe(Config{Clock: &FakeClock{Step: 1000}})
+	p.BeginRound(0)
+	p.Begin(PhaseGroupStep)
+	p.End(PhaseGroupStep)
+	p.Add(CounterPoolItems, 42)
+	rep := p.Report()
+	pt := rep.PhaseTable().String()
+	if !strings.Contains(pt, "step") || !strings.Contains(pt, "phase") {
+		t.Fatalf("phase table missing rows:\n%s", pt)
+	}
+	if strings.Contains(pt, "monitor") {
+		t.Fatalf("phase table should omit empty phases:\n%s", pt)
+	}
+	ct := rep.CounterTable().String()
+	if !strings.Contains(ct, "pool_items") || !strings.Contains(ct, "42") {
+		t.Fatalf("counter table missing pool_items:\n%s", ct)
+	}
+}
+
+func TestHotPathMethodsDoNotAllocate(t *testing.T) {
+	tw := NewTraceWriter(io.Discard)
+	p := NewProbe(Config{Clock: &FakeClock{Step: 3}, Trace: tw})
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.BeginRound(1)
+		p.Begin(PhaseEnvStep)
+		p.End(PhaseEnvStep)
+		p.Add(CounterTouchedEdges, 17)
+		p.Cell(1, 99)
+	})
+	if allocs != 0 {
+		t.Fatalf("probe hot path allocates %v per round, want 0", allocs)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var s PhaseStats
+	if got := s.QuantileNs(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	p := NewProbe(Config{Clock: &FakeClock{Step: 1}})
+	// Durations 1ns ×9 then one huge outlier via ObserveNs.
+	for i := 0; i < 9; i++ {
+		p.ObserveNs(PhaseMonitor, 1)
+	}
+	p.ObserveNs(PhaseMonitor, 1<<20)
+	st := p.Report().Phases[PhaseMonitor]
+	if got := st.QuantileNs(0.5); got != 2 {
+		t.Fatalf("median bound = %d, want bucket edge 2", got)
+	}
+	if got := st.QuantileNs(1.0); got != 1<<21 {
+		t.Fatalf("max-quantile bound = %d, want %d", got, 1<<21)
+	}
+}

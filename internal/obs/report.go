@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// PhaseStats aggregates one phase's timing: segment count, summed and
+// max duration, and a log2 histogram (bucket b holds [2^(b-1), 2^b) ns).
+type PhaseStats struct {
+	Count   int64
+	TotalNs int64
+	MaxNs   int64
+	Hist    [HistBuckets]int64
+}
+
+// MeanNs returns the mean segment duration (0 when empty).
+func (s PhaseStats) MeanNs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.TotalNs) / float64(s.Count)
+}
+
+// QuantileNs returns an upper bound on the q-quantile (0 < q ≤ 1)
+// segment duration: the upper edge 2^b of the histogram bucket holding
+// the q-th ranked segment. Coarse (factor-of-two) by construction; use
+// the trace sink when exact per-segment durations matter.
+func (s PhaseStats) QuantileNs(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for b := 0; b < HistBuckets; b++ {
+		seen += s.Hist[b]
+		if seen >= rank {
+			if b == 0 {
+				return 1
+			}
+			return int64(1) << uint(b)
+		}
+	}
+	return s.MaxNs
+}
+
+// add folds o into s.
+func (s *PhaseStats) add(o PhaseStats) {
+	s.Count += o.Count
+	s.TotalNs += o.TotalNs
+	if o.MaxNs > s.MaxNs {
+		s.MaxNs = o.MaxNs
+	}
+	for b := range s.Hist {
+		s.Hist[b] += o.Hist[b]
+	}
+}
+
+// sub removes a prior snapshot o from s (Count/TotalNs/Hist are
+// monotonic so the difference is exact; MaxNs keeps the later max,
+// which upper-bounds the interval's true max).
+func (s *PhaseStats) sub(o PhaseStats) {
+	s.Count -= o.Count
+	s.TotalNs -= o.TotalNs
+	for b := range s.Hist {
+		s.Hist[b] -= o.Hist[b]
+	}
+}
+
+// RoundReport is a value snapshot of a probe's aggregates: per-phase
+// timing plus the work counters. Reports subtract (per-interval deltas)
+// and merge (across workers), and render through the internal/metrics
+// table helpers.
+type RoundReport struct {
+	Phases   [NumPhases]PhaseStats
+	Counters [NumCounters]int64
+}
+
+// Sub returns r minus the earlier snapshot prev — the activity between
+// the two Report calls.
+func (r RoundReport) Sub(prev RoundReport) RoundReport {
+	out := r
+	for ph := range out.Phases {
+		out.Phases[ph].sub(prev.Phases[ph])
+	}
+	for c := range out.Counters {
+		out.Counters[c] -= prev.Counters[c]
+	}
+	return out
+}
+
+// Merge returns the union of r and o — use to combine per-worker probes
+// into one run-wide report.
+func (r RoundReport) Merge(o RoundReport) RoundReport {
+	out := r
+	for ph := range out.Phases {
+		out.Phases[ph].add(o.Phases[ph])
+	}
+	for c := range out.Counters {
+		out.Counters[c] += o.Counters[c]
+	}
+	return out
+}
+
+// Rounds returns the observed round count.
+func (r RoundReport) Rounds() int64 { return r.Counters[CounterRounds] }
+
+// PhaseNs returns ph's total nanoseconds.
+func (r RoundReport) PhaseNs(ph Phase) int64 { return r.Phases[ph].TotalNs }
+
+// PhaseTable renders the non-empty phases as a markdown table: segment
+// count, total ms, mean/p99-bound/max µs per segment.
+func (r RoundReport) PhaseTable() *metrics.Table {
+	t := metrics.NewTable("phase", "segments", "total ms", "mean µs", "p99≤ µs", "max µs")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		s := r.Phases[ph]
+		if s.Count == 0 {
+			continue
+		}
+		t.AddRow(
+			ph.String(),
+			strconv.FormatInt(s.Count, 10),
+			metrics.FormatFloat(float64(s.TotalNs)/1e6),
+			metrics.FormatFloat(s.MeanNs()/1e3),
+			metrics.FormatFloat(float64(s.QuantileNs(0.99))/1e3),
+			metrics.FormatFloat(float64(s.MaxNs)/1e3),
+		)
+	}
+	return t
+}
+
+// CounterTable renders the non-zero counters as a markdown table.
+func (r RoundReport) CounterTable() *metrics.Table {
+	t := metrics.NewTable("counter", "value")
+	for c := Counter(0); c < NumCounters; c++ {
+		if r.Counters[c] == 0 {
+			continue
+		}
+		t.AddRow(c.String(), strconv.FormatInt(r.Counters[c], 10))
+	}
+	return t
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// TraceWriter emits structured JSONL trace events: one object per line,
+// one line per phase segment or sweep cell. It is safe for concurrent
+// use (sweep workers share one writer) and allocation-free in steady
+// state: lines are assembled in a reusable buffer with strconv appends
+// and flushed through one bufio.Writer.
+//
+// Event shapes:
+//
+//	{"event":"phase","shard":0,"round":12,"phase":"match","ns":48211}
+//	{"event":"cell","shard":3,"cell":17,"ns":90211377}
+type TraceWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewTraceWriter wraps w. The caller owns w's lifetime; call Flush
+// before closing it.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 128)}
+}
+
+// Phase emits a phase event.
+func (t *TraceWriter) Phase(shard, round int, ph Phase, ns int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.buf[:0]
+	b = append(b, `{"event":"phase","shard":`...)
+	b = strconv.AppendInt(b, int64(shard), 10)
+	b = append(b, `,"round":`...)
+	b = strconv.AppendInt(b, int64(round), 10)
+	b = append(b, `,"phase":"`...)
+	b = append(b, ph.String()...)
+	b = append(b, `","ns":`...)
+	b = strconv.AppendInt(b, ns, 10)
+	b = append(b, '}', '\n')
+	t.write(b)
+	t.mu.Unlock()
+}
+
+// Cell emits a sweep-cell completion event.
+func (t *TraceWriter) Cell(shard, cell int, ns int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.buf[:0]
+	b = append(b, `{"event":"cell","shard":`...)
+	b = strconv.AppendInt(b, int64(shard), 10)
+	b = append(b, `,"cell":`...)
+	b = strconv.AppendInt(b, int64(cell), 10)
+	b = append(b, `,"ns":`...)
+	b = strconv.AppendInt(b, ns, 10)
+	b = append(b, '}', '\n')
+	t.write(b)
+	t.mu.Unlock()
+}
+
+// write appends the assembled line to the buffered writer, latching the
+// first error. Callers hold t.mu.
+func (t *TraceWriter) write(b []byte) {
+	t.buf = b[:0]
+	if t.err != nil {
+		return
+	}
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// Flush drains buffered events to the underlying writer and returns the
+// first error seen by any write or flush.
+func (t *TraceWriter) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		t.err = t.bw.Flush()
+	}
+	return t.err
+}
+
+// Err returns the first error seen, without flushing.
+func (t *TraceWriter) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

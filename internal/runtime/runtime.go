@@ -61,6 +61,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	ms "repro/internal/multiset"
+	"repro/internal/obs"
 )
 
 // Options configures an asynchronous run.
@@ -87,6 +88,14 @@ type Options struct {
 	// bit-identical to the pre-fault runtime (the GOMAXPROCS(1) golden
 	// pins it).
 	Faults *dynamics.Faults
+	// Probe, when non-nil, records the exchange lifecycle on the
+	// observability layer's atomic counters: initiations, busy
+	// rejections, adopted deliveries, in-transit losses, and backoff
+	// windows entered (plus their summed nanoseconds). Counters only —
+	// agents run concurrently, and obs phase timers are single-goroutine.
+	// Probes never draw from the seeded streams, so attaching one leaves
+	// the GOMAXPROCS(1) golden byte-identical.
+	Probe *obs.Probe
 	// FixedBackoff replaces the adaptive AIMD busy-backoff controller
 	// with the legacy fixed doubling ladder (512µs ceiling, reset to
 	// zero on success). Scheduling policy only — results are unaffected;
@@ -355,6 +364,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 					close(budgetOut)
 				}
 				countMu.Unlock()
+				opts.Probe.Add(obs.CounterExchInitiate, 1)
 				if !links.isUp(pick.edge) {
 					continue
 				}
@@ -365,6 +375,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 					// initiator moves on as if the link had dropped.
 					if f.LossP > 0 && rng.Float64() < f.LossP {
 						lost[a]++
+						opts.Probe.Add(obs.CounterExchLost, 1)
 						continue
 					}
 					// Delay: the request is in flight for a while before
@@ -411,6 +422,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 							}
 							my = r.state
 							post(a, my)
+							opts.Probe.Add(obs.CounterExchDeliver, 1)
 							if cmp(before, my) != 0 {
 								countMu.Lock()
 								properCount++
@@ -428,13 +440,19 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 					// derives from the observed rejection rate (see the
 					// protocol notes in the package comment and backoff.go).
 					rejections[a]++
+					opts.Probe.Add(obs.CounterExchBusy, 1)
 					var window time.Duration
 					if useFixed {
 						window = ladder.onRejected()
 					} else {
 						window = backoff.onRejected()
 					}
-					backoffTimer.Reset(time.Duration(1 + rng.Int63n(int64(window))))
+					wait := time.Duration(1 + rng.Int63n(int64(window)))
+					if opts.Probe != nil {
+						opts.Probe.Add(obs.CounterExchBackoffs, 1)
+						opts.Probe.Add(obs.CounterExchBackoffNs, int64(wait))
+					}
+					backoffTimer.Reset(wait)
 				backingOff:
 					for {
 						select {

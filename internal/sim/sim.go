@@ -57,6 +57,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/logic"
 	ms "repro/internal/multiset"
+	"repro/internal/obs"
 )
 
 // Mode selects how groups execute steps each round.
@@ -181,6 +182,18 @@ type Options struct {
 	// schedule) leave the engine bit-identical to the pre-dynamics
 	// goldens.
 	Dynamics *dynamics.Schedule
+	// Probe, when non-nil, attaches the observability layer (internal/obs):
+	// the round loop brackets each phase — environment step, dynamics
+	// apply, touched-set assembly, matcher update, match, group step,
+	// monitor — with probe timers, and the engine's work counters (groups,
+	// matched pairs, touched ids, shard flushes, pool fan-out) accumulate
+	// into the probe's RoundReport. The contract is observe-never-perturb:
+	// the probe never draws from or reorders the seeded streams, so an
+	// attached probe changes NO result bytes (pinned by the probed golden
+	// replay tests); a nil probe costs one pointer check per site. The
+	// probe's timer methods are driven from the run's goroutine — give
+	// concurrent runs their own probes and merge the reports.
+	Probe *obs.Probe
 	// AdversaryFeedback, when the environment is an *env.Adversary, wires
 	// the adversary's usefulness oracle to live agent state: an edge is
 	// "useful" (and therefore cut first) exactly when its endpoints
@@ -253,6 +266,10 @@ type runner[T any] struct {
 	g    *graph.Graph
 	opts Options
 	cmp  ms.Cmp[T]
+
+	// obs is the run's observability probe (nil = off). Named obs, not
+	// probe: Result.Probe is the pre-existing env.FairnessProbe.
+	obs *obs.Probe
 
 	rc     *engine.RunContext
 	mon    *engine.Monitor[T]
@@ -448,6 +465,10 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 	}
 	r.pool = sc.rc.Pool()
 	r.pool.SetThreshold(threshold)
+	// Rebind the observability probe every run: a nil opts.Probe must also
+	// CLEAR any probe a previous run on this warm scratch attached.
+	r.obs = opts.Probe
+	r.pool.SetProbe(opts.Probe)
 	r.tracker, r.shards = nil, nil
 	switch shardCount := resolveShards(opts.Shards, g.N()); {
 	case shardCount > 0:
@@ -464,6 +485,11 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			sc.tracker.Reset(r.cmp, r.states)
 		}
 		r.tracker = sc.tracker
+	}
+	if sc.shards != nil {
+		// Rebound even when this run uses the single-tracker layout, so a
+		// stale probe from a previous sharded run never outlives its run.
+		sc.shards.SetProbe(opts.Probe)
 	}
 	if r.mon == nil {
 		r.mon = engine.NewMonitor(p, r.snapshot(), opts.HEps)
@@ -559,14 +585,17 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 		if res.Converged && opts.StopOnConverged && (r.dyn == nil || !r.dyn.PendingJoins()) {
 			break
 		}
+		r.obs.BeginRound(round)
 		// Population growth first — joiners participate in the very round
 		// they arrive: the graph attaches them, the environment, matcher,
 		// probe, and state snapshot grow in place, and the conservation
 		// target is extended per §3.4 (f(f(X) ∪ Y) = f(X ∪ Y)).
 		if r.dyn != nil {
+			r.obs.Begin(obs.PhaseDynamics)
 			if gr, ok := r.dyn.GrowthFor(round); ok {
 				r.applyGrowth(gr, round)
 			}
+			r.obs.End(obs.PhaseDynamics)
 		}
 		// Environment transition, then the dynamics overlay: the schedule
 		// fires this round's events and masks its cut edges and crashed
@@ -574,13 +603,16 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 		// false to exactly the suppressed up-entries; EndRound below
 		// undoes exactly those writes before the environment's next
 		// Step). The probe therefore observes the effective masks.
+		r.obs.Begin(obs.PhaseEnvStep)
 		es := e.Step(round, rng)
 		exact := false
 		var envE, envA []int
 		if delta != nil {
 			envE, envA, exact = delta.StepDeltas()
 		}
+		r.obs.End(obs.PhaseEnvStep)
 		if r.dyn != nil {
+			r.obs.Begin(obs.PhaseDynamics)
 			es = r.dyn.BeginRound(round, es)
 			for _, a := range r.dyn.JustCrashed() {
 				r.frozenVals[a] = r.states[a]
@@ -593,7 +625,9 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			if r.dyn.Amnesiac() && len(r.dyn.JustWoken()) > 0 {
 				r.applyAmnesia(r.dyn.JustWoken())
 			}
+			r.obs.End(obs.PhaseDynamics)
 		}
+		r.obs.Begin(obs.PhaseTouched)
 		// Combined touched ids for the effective (post-overlay) masks: the
 		// environment's own flips, plus everything the previous round's
 		// overlay restored at EndRound, plus everything this round's
@@ -610,6 +644,11 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 		} else {
 			res.Probe.Observe(es)
 		}
+		if r.obs != nil {
+			r.obs.Add(obs.CounterTouchedEdges, int64(len(r.touchedE)))
+			r.obs.Add(obs.CounterTouchedAgents, int64(len(r.touchedA)))
+		}
+		r.obs.End(obs.PhaseTouched)
 
 		// Agents transition: groups step concurrently.
 		stepsBefore := res.GroupSteps
@@ -620,6 +659,9 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 		default:
 			activeGroups = r.stepComponents(es, exact)
 		}
+		if r.obs != nil {
+			r.obs.Add(obs.CounterGroups, int64(activeGroups))
+		}
 
 		// Global monitors: conservation law and variant descent, on the
 		// incrementally maintained snapshot. The sharded layout first
@@ -627,6 +669,7 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 		// shard) and then reduces the per-shard views.
 		var now ms.Multiset[T]
 		var nowH float64
+		r.obs.Begin(obs.PhaseMonitor)
 		if r.shards != nil {
 			r.shards.Flush(r.pool)
 			now = r.shards.View()
@@ -635,11 +678,13 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			now = r.tracker.View()
 			nowH = r.mon.ObserveRound(round, now)
 		}
+		r.obs.End(obs.PhaseMonitor)
 		if opts.RecordH {
 			res.HTrace = append(res.HTrace, nowH)
 		}
 
 		if r.dyn != nil {
+			r.obs.Begin(obs.PhaseDynamics)
 			// Frozen-state conservation: a crashed agent was excluded from
 			// every group and matching this round, so its state must still
 			// equal its crash-time snapshot.
@@ -650,6 +695,7 @@ func RunWith[T any](sc *Scratch[T], p core.Problem[T], e env.Environment, initia
 			r.prevOverlayE = append(r.prevOverlayE[:0], r.dyn.OverlayEdges()...)
 			r.prevOverlayA = append(r.prevOverlayA[:0], r.dyn.OverlayAgents()...)
 			r.dyn.EndRound()
+			r.obs.End(obs.PhaseDynamics)
 		}
 
 		if r.conv.Observe(round+1, now) {
@@ -874,12 +920,18 @@ func (r *runner[T]) stepComponents(es env.State, exact bool) int {
 	// the previous one — reuse it and skip the O(E) union-find pass. The
 	// per-group seed draws below still happen in the same partition order,
 	// so the master-stream positions (and hence results) are unchanged.
+	// Component mode's group formation is the partition derivation, so it
+	// times under PhaseMatch (memo hits make it near-free on quiescent
+	// rounds — visible in the phase table as sub-µs match segments).
+	r.obs.Begin(obs.PhaseMatch)
 	if !exact || len(r.touchedE) > 0 || len(r.touchedA) > 0 || !r.compsValid {
 		r.comps = r.g.ComponentsInto(es.EdgeUp, es.AgentUp, &r.compScratch)
 		r.compsValid = true
 	}
 	comps := r.comps
+	r.obs.End(obs.PhaseMatch)
 
+	r.obs.Begin(obs.PhaseGroupStep)
 	r.jobs = r.jobs[:0]
 	arena := r.beforeArena[:0]
 	for _, comp := range comps {
@@ -925,6 +977,7 @@ func (r *runner[T]) stepComponents(es env.State, exact bool) int {
 			r.states[a] = j.after[idx]
 		}
 	}
+	r.obs.End(obs.PhaseGroupStep)
 	return len(r.jobs)
 }
 
@@ -941,9 +994,17 @@ func (r *runner[T]) stepComponents(es env.State, exact bool) int {
 // bit-identical for every Shards/ParallelThreshold/GOMAXPROCS
 // combination.
 func (r *runner[T]) stepPairs(es env.State, rng *rand.Rand, exact bool) int {
+	r.obs.Begin(obs.PhaseMatcherUpdate)
 	r.matcher.Update(es.EdgeUp, es.AgentUp, r.touchedE, r.touchedA, exact)
+	r.obs.End(obs.PhaseMatcherUpdate)
+	r.obs.Begin(obs.PhaseMatch)
 	matched := r.matcher.Match(rng.Int63(), r.pool)
+	r.obs.End(obs.PhaseMatch)
+	if r.obs != nil {
+		r.obs.Add(obs.CounterMatchedPairs, int64(len(matched)))
+	}
 
+	r.obs.Begin(obs.PhaseGroupStep)
 	r.pairJobs = r.pairJobs[:0]
 	for _, id := range matched {
 		e := r.matcher.Edge(id)
@@ -976,6 +1037,7 @@ func (r *runner[T]) stepPairs(es env.State, rng *rand.Rand, exact bool) int {
 		r.applyDelta(r.pairMembers[:], r.pairOld[:], r.pairNew[:], changed)
 		r.states[j.a], r.states[j.b] = j.newA, j.newB
 	}
+	r.obs.End(obs.PhaseGroupStep)
 	return len(r.pairJobs)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dynamics"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -49,6 +50,14 @@ type Worker struct {
 	// KeepFinal makes Do retain each cell's final states in its
 	// CellResult.
 	KeepFinal bool
+	// Probe, when non-nil, observes every cell this worker executes: it
+	// is attached to each run (unless the cell's own Options carry a
+	// probe already) and records the cell lifecycle — count, duration
+	// histogram, and a JSONL cell event when a trace sink is configured.
+	// One probe per worker: obs phase timers are single-goroutine, so
+	// workers must not share probes (a shared TraceWriter is fine).
+	// Observe-never-perturb — cell results are byte-identical either way.
+	Probe *obs.Probe
 
 	rc *engine.RunContext
 	sc *sim.Scratch[int]
@@ -89,6 +98,9 @@ func (w *Worker) Do(c Cell) (CellResult, error) {
 	w.initRng.Seed(c.InitSeed)
 	initial := c.Problem.Init(n+joiners, w.initRng)
 	e := c.Env.New(rg)
+	if c.Opts.Probe == nil {
+		c.Opts.Probe = w.Probe // c is a value copy; the grid's cells are untouched
+	}
 
 	//lint:ignore timenow CellResult.Duration is documented as the one machine-dependent field; the Table excludes it and nothing downstream branches on it
 	start := time.Now()
@@ -109,6 +121,7 @@ func (w *Worker) Do(c Cell) (CellResult, error) {
 		Duration: time.Since(start),
 		Dyn:        res.Dynamics,
 	}
+	w.Probe.Cell(c.Index, int64(cr.Duration))
 	if w.KeepFinal {
 		cr.Final = res.Final
 	}
@@ -130,6 +143,12 @@ type Options struct {
 	Workers int
 	// KeepFinal retains each cell's final states in its CellResult.
 	KeepFinal bool
+	// NewProbe, when non-nil, builds one observability probe per worker
+	// slot (called lazily with the slot index when the slot first runs a
+	// cell). Per-worker probes keep the single-goroutine timer contract;
+	// point them at one shared TraceWriter for a combined trace, and read
+	// the merged aggregates with Runner.ObsReport.
+	NewProbe func(worker int) *obs.Probe
 }
 
 // Result is a grid run's outcome: per-cell results in cell order, the
@@ -172,6 +191,9 @@ func (r *Runner) Run(g *Grid) (*Result, error) {
 		if w == nil {
 			w = NewWorker()
 			w.KeepFinal = r.opts.KeepFinal
+			if r.opts.NewProbe != nil {
+				w.Probe = r.opts.NewProbe(worker)
+			}
 			r.workers[worker] = w
 		}
 		results[i], errs[i] = w.Do(g.Cells[i])
@@ -183,6 +205,19 @@ func (r *Runner) Run(g *Grid) (*Result, error) {
 	}
 	//lint:ignore timenow feeds only the reporting-layer Elapsed field
 	return &Result{Cells: results, Table: ResultTable(results), Elapsed: time.Since(start)}, nil
+}
+
+// ObsReport merges the per-worker observability probes into one
+// run-wide report (zero when Options.NewProbe was not set or no cell has
+// run). Call between grid runs, not during one.
+func (r *Runner) ObsReport() obs.RoundReport {
+	var rep obs.RoundReport
+	for _, w := range r.workers {
+		if w != nil && w.Probe != nil {
+			rep = rep.Merge(w.Probe.Report())
+		}
+	}
+	return rep
 }
 
 // Close releases every worker engine and the runner's pool.

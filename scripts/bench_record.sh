@@ -2,33 +2,45 @@
 # Record the steady-state round-scaling benchmarks to BENCH_roundscale.json.
 #
 # Runs BenchmarkSimRoundScale (N ∈ {10⁴, 10⁵, 10⁶} pairwise churn cells
-# on a warm sweep worker, 32 fixed rounds per op — see bench_test.go) and
-# writes per-N ns/round and allocs/round. CI uploads the file as a build
-# artifact, so the scaling row is recorded per commit; the claim to watch
-# is allocs/round staying flat in N (the delta-indexed round path heaps
-# per change and per round, never per agent or per edge), while ns/round
-# grows with the matching draw's O(usable edges).
+# on a warm sweep worker — see bench_test.go) plus its probes-ON twin
+# BenchmarkSimRoundProbed, and writes per-N ns/round and allocs/round
+# plus a phase_split row breaking one probed cell's round into engine
+# phases (env/touched/update/match/step/monitor). The round count is
+# parsed from each benchmark's rounds/op metric — never hardcoded here —
+# so a bench_test.go retune cannot silently skew the recorded per-round
+# numbers. CI uploads the file as a build artifact, so the scaling row is
+# recorded per commit; the claim to watch is allocs/round staying flat in
+# N (the delta-indexed round path heaps per change and per round, never
+# per agent or per edge), while ns/round grows with the matching draw's
+# O(usable edges).
 #
 # Usage: scripts/bench_record.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out_file=${1:-BENCH_roundscale.json}
-rounds_per_op=32
 # The benchmark's sub-benchmark grid: a cell silently dropping out (a
 # skip, an OOM kill, a renamed sub-benchmark) must fail the record, not
 # produce a shorter file that downstream diffing misreads as a trend.
 expected_cells=3
 
-out=$(go test -run '^$' -bench 'BenchmarkSimRoundScale$' -benchtime=1x -benchmem .)
+out=$(go test -run '^$' -bench 'BenchmarkSimRoundScale$|BenchmarkSimRoundProbed$' -benchtime=1x -benchmem .)
 echo "$out"
 
-echo "$out" | awk -v rounds="$rounds_per_op" -v want="$expected_cells" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+echo "$out" | awk -v want="$expected_cells" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  # roundsof scans the current benchmark line for its rounds/op metric;
+  # "" if the benchmark did not report one.
+  function roundsof(   i) {
+    for (i = 2; i <= NF; i++) if ($i == "rounds/op") return $(i - 1)
+    return ""
+  }
   $1 ~ /^BenchmarkSimRoundScale\/N=/ {
     split($1, parts, "=")
     sub(/-[0-9]+$/, "", parts[2])   # strip the GOMAXPROCS suffix if present
     cells++
-    if (parts[2] !~ /^[0-9]+$/ || $3 !~ /^[0-9.]+$/ || $(NF-1) !~ /^[0-9]+$/ || $NF != "allocs/op") {
+    rounds = roundsof()
+    if (parts[2] !~ /^[0-9]+$/ || $3 !~ /^[0-9.]+$/ || rounds !~ /^[0-9.]+$/ || rounds + 0 <= 0 ||
+        $(NF-1) !~ /^[0-9]+$/ || $NF != "allocs/op") {
       printf "bench_record: unparseable benchmark line: %s\n", $0 > "/dev/stderr"
       bad = 1
       next
@@ -36,6 +48,28 @@ echo "$out" | awk -v rounds="$rounds_per_op" -v want="$expected_cells" -v date="
     n[cells] = parts[2]
     ns[cells] = $3
     allocs[cells] = $(NF-1)
+    rop[cells] = rounds + 0
+    if (rop[cells] != rop[1]) {
+      printf "bench_record: rounds/op differs across cells (%s vs %s)\n", rop[cells], rop[1] > "/dev/stderr"
+      bad = 1
+    }
+  }
+  $1 ~ /^BenchmarkSimRoundProbed/ {
+    probed_rounds = roundsof() + 0
+    if (probed_rounds <= 0 || $NF != "allocs/op") {
+      printf "bench_record: unparseable benchmark line: %s\n", $0 > "/dev/stderr"
+      bad = 1
+      next
+    }
+    # Collect every ns_<phase>/round metric the probed benchmark reports.
+    nphase = 0
+    for (i = 2; i <= NF; i++)
+      if ($i ~ /^ns_[a-z]+\/round$/) {
+        nphase++
+        pname[nphase] = substr($i, 4, length($i) - 9)   # "ns_env/round" -> "env"
+        pns[nphase] = $(i - 1)
+      }
+    probed = 1
   }
   END {
     if (bad) exit 1
@@ -43,15 +77,26 @@ echo "$out" | awk -v rounds="$rounds_per_op" -v want="$expected_cells" -v date="
       printf "bench_record: got %d BenchmarkSimRoundScale cells, want %d\n", cells, want > "/dev/stderr"
       exit 1
     }
+    if (!probed || nphase == 0) {
+      printf "bench_record: no BenchmarkSimRoundProbed phase metrics in output\n" > "/dev/stderr"
+      exit 1
+    }
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkSimRoundScale\",\n"
     printf "  \"recorded\": \"%s\",\n", date
-    printf "  \"rounds_per_op\": %d,\n", rounds
+    printf "  \"rounds_per_op\": %d,\n", rop[1]
     printf "  \"cells\": [\n"
     for (i = 1; i <= cells; i++)
       printf "    {\"n\": %s, \"ns_per_round\": %.1f, \"allocs_per_round\": %.3f}%s\n",
-        n[i], ns[i] / rounds, allocs[i] / rounds, (i < cells ? "," : "")
-    printf "  ]\n}\n"
+        n[i], ns[i] / rop[i], allocs[i] / rop[i], (i < cells ? "," : "")
+    printf "  ],\n"
+    printf "  \"phase_split\": {\n"
+    printf "    \"benchmark\": \"BenchmarkSimRoundProbed\", \"n\": 100000, \"rounds_per_op\": %d,\n", probed_rounds
+    printf "    \"ns_per_round\": {"
+    for (i = 1; i <= nphase; i++)
+      printf "\"%s\": %.1f%s", pname[i], pns[i], (i < nphase ? ", " : "")
+    printf "}\n"
+    printf "  }\n}\n"
   }
 ' > "$out_file"
 

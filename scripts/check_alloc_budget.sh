@@ -54,12 +54,21 @@
 # regression that allocates per agent (4096 would blow through it) or
 # per round after the splice fails loudly.
 #
+# BenchmarkSimRoundProbed is the same warm pairwise delta cell at
+# N = 10⁵ (32 rounds/op) with an observability probe ATTACHED, and it
+# shares the 400 budget: the probe's hot path (BeginRound/Begin/End/Add
+# and the counter increments inside the pool, shards, and round loop)
+# must be allocation-free, so probes-on allocs/op equals the unprobed
+# per-run bookkeeping (~165 measured — fewer rounds than Delta1e5's 64,
+# same fixed-cost set). A regression that allocates per phase sample
+# adds hundreds per op (32 rounds × 7+ phase brackets) and fails loudly.
+#
 # Benchmarks run one iteration with a fixed seed, so allocs/op is a stable
 # budget number for the simulator and a bounded-noise one for the runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$|BenchmarkSimPairwiseDelta1e5$|BenchmarkJoinSplice$' -benchtime=1x -benchmem .)
+out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$|BenchmarkSimPairwiseDelta1e5$|BenchmarkJoinSplice$|BenchmarkSimRoundProbed$' -benchtime=1x -benchmem .)
 echo "$out"
 
 fail=0
@@ -96,4 +105,5 @@ check BenchmarkSweepGrid 1200
 check BenchmarkSimWithDynamics 1600
 check BenchmarkSimPairwiseDelta1e5 400
 check BenchmarkJoinSplice 400
+check BenchmarkSimRoundProbed 400
 exit $fail
