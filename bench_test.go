@@ -621,3 +621,74 @@ func BenchmarkAblationGreedyVsPartialMin(b *testing.B) {
 		})
 	}
 }
+
+// --- Sched runtime: E20's sharded engine measured directly ---
+
+// BenchmarkSchedExchange1e4 pins the sharded scheduler's per-exchange
+// allocation contract at N = 8192 (min over Hypercube(13), 60·N
+// initiation budget, ~15k exchanges to convergence): mailbox rings, run
+// queues, and deferred heaps are preallocated, so a whole run costs only
+// its O(shards + population arrays) setup allocations — allocs/op stays
+// in the hundreds for half a million available initiations, and
+// scripts/check_alloc_budget.sh enforces a hard budget on it. A
+// regression that allocates per exchange (one message box, one heap node)
+// adds tens of thousands and fails loudly.
+func BenchmarkSchedExchange1e4(b *testing.B) {
+	const dim = 13
+	const n = 1 << dim
+	g := Hypercube(dim)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = 2 + (i*7919)%997
+	}
+	vals[n/2] = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := DefaultSchedOptions(int64(i + 1))
+		o.MaxOps = 60 * n
+		o.Timeout = 2 * time.Minute
+		res, err := SimulateSched[int](NewMin(), g, vals, o)
+		if err != nil || !res.Converged {
+			b.Fatalf("sched run failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkSchedScale is the recorded scaling row (scripts/
+// bench_record.sh → BENCH_roundscale.json): min over the hypercube at
+// N = 2¹⁰, 2¹³, 2¹⁷ on the sharded scheduler, reporting proper steps
+// per wall-clock second via the engine's own sanctioned clock. The
+// log-diameter topology converges within the 60·N budget at every size,
+// so the metric compares like with like as N grows three decades.
+func BenchmarkSchedScale(b *testing.B) {
+	for _, dim := range []int{10, 13, 17} {
+		dim := dim
+		n := 1 << dim
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			g := Hypercube(dim)
+			vals := make([]int, n)
+			for i := range vals {
+				vals[i] = 2 + (i*7919)%997
+			}
+			vals[n/2] = 1
+			var proper int
+			var elapsed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := DefaultSchedOptions(20)
+				o.MaxOps = 60 * n
+				o.Timeout = 2 * time.Minute
+				res, err := SimulateSched[int](NewMin(), g, vals, o)
+				if err != nil || !res.Converged {
+					b.Fatalf("sched run failed: %v", err)
+				}
+				proper += res.ProperSteps
+				elapsed += res.Elapsed
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(proper)/elapsed.Seconds(), "propersteps/s")
+			}
+		})
+	}
+}

@@ -23,9 +23,15 @@
 //     dropped with some probability each round — a temporary
 //     availability override on top of the environment's own behaviour.
 //
-// (Message loss and delay for the asynchronous runtime are the fourth
+// (Message loss and delay for the asynchronous runtimes are the fourth
 // primitive; they live in Faults, injected at the exchange layer by
-// internal/runtime.)
+// internal/runtime and internal/sched.)
+//
+// A Schedule is engine-agnostic: the round engine (internal/sim) applies
+// one schedule round per simulation round, and the sharded scheduler
+// (internal/sched) applies one per epoch of OpsPerEpoch initiations at a
+// stop-the-world safepoint — the same script, the same Applier, on both
+// realizations of the paper's execution model.
 //
 // Determinism contract. A Schedule is pure data; all per-run state lives
 // in an Applier. Every random draw the applier makes comes from a
@@ -122,6 +128,33 @@ func (s *Schedule) TotalJoiners() int {
 
 // HasJoins reports whether the schedule contains any Join rule.
 func (s *Schedule) HasJoins() bool { return s.TotalJoiners() > 0 }
+
+// Horizon returns the last round at which one of the schedule's
+// one-shot rules still fires or changes scripted state: the latest At
+// round, window end, or Join round (−1 for an empty schedule or one
+// with only recurring rules — Every, RandomCrashes, cyclic partitions —
+// which have no finite horizon). Engines that map schedule rounds onto
+// another clock — the sched runtime applies one round per OpsPerEpoch
+// initiations — use this to check the whole script fits inside the
+// run's budget.
+func (s *Schedule) Horizon() int {
+	s.check()
+	h := -1
+	for i := range s.rules {
+		r := &s.rules[i]
+		switch r.kind {
+		case ruleAt, ruleJoin:
+			if r.round > h {
+				h = r.round
+			}
+		case ruleCutWindow, ruleBurst:
+			if !r.cyclic && r.to-1 > h {
+				h = r.to - 1
+			}
+		}
+	}
+	return h
+}
 
 // LastJoinRound returns the latest round at which a Join rule fires
 // (−1 when the schedule has none) — engines must not stop on

@@ -357,3 +357,27 @@ func TestFaultsValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleHorizon pins the one-shot horizon accessor the sched
+// engine validates its op budget against.
+func TestScheduleHorizon(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Schedule
+		want int
+	}{
+		{"empty", NewSchedule(), -1},
+		{"at", NewSchedule(At(5, CrashAgents(0))), 5},
+		{"join", NewSchedule(Join(2, "ring", 9)), 9},
+		{"window", NewSchedule(Partition(2, 3, 8)), 7},
+		{"burst", NewSchedule(Burst(0.5, 2, 12)), 11},
+		{"recurring-only", NewSchedule(Every(4, RecoverAll()), RandomCrashes(0.01, 3)), -1},
+		{"cyclic-only", NewSchedule(PartitionCycle(2, 3, 2)), -1},
+		{"mixed", NewSchedule(At(2, CrashAgents(1)), Join(1, "ring", 6), Partition(2, 1, 4), Every(3, RecoverAll())), 6},
+	}
+	for _, c := range cases {
+		if got := c.s.Horizon(); got != c.want {
+			t.Errorf("%s: Horizon() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -30,6 +30,8 @@ import (
 	ms "repro/internal/multiset"
 	"repro/internal/obs"
 	"repro/internal/problems"
+	rt "repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -79,7 +81,7 @@ func All(cfg Config) []Section {
 		E9Classification(cfg), E10ModelCheck(cfg), E11Ablation(cfg),
 		E12Fairness(cfg), E13Continuous(cfg), E14EscapePostulate(cfg),
 		E15Scaling(cfg), E16ScenarioMatrix(cfg), E17Dynamics(cfg),
-		E18RoundCost(cfg), E19Membership(cfg),
+		E18RoundCost(cfg), E19Membership(cfg), E20SchedScale(cfg),
 	}
 }
 
@@ -1945,6 +1947,184 @@ func E14EscapePostulate(cfg Config) Section {
 		ID:    "E14",
 		Title: "Escape postulate — the paper's §2.1 counterexample, executable",
 		Claim: "§2.1: the escape postulate is an assumption; an environment that always transits before agents act defeats it even though ♦Q … □◇Q holds.",
+		Body:  b.String(), ShapeHolds: shape,
+	}
+}
+
+// --- E20: sharded actor scheduler — the 10⁵-agent scaling study ---
+
+// E20SchedScale compares the two realizations of §4.5's asynchronous
+// message-passing remark head to head: the literal one goroutine per
+// agent (internal/runtime) against the sharded event-loop actor runtime
+// (internal/sched) that multiplexes the whole population onto a handful
+// of per-shard run queues. Same protocol, same busy-guard semantics,
+// same monitor — the only thing that changes is who schedules the
+// agents. The study sweeps min and sum over ring and hypercube at
+// N = 2¹⁰, 2¹³, 2¹⁷ and records convergence, throughput (proper steps
+// per wall-clock second), and allocations per initiated exchange.
+func E20SchedScale(cfg Config) Section {
+	var b strings.Builder
+	type dim struct{ d, n int }
+	sizes := []dim{{10, 1 << 10}, {13, 1 << 13}, {17, 1 << 17}}
+	// 2¹³ is the largest population the goroutine engine gets: 2¹⁷ would
+	// mean 131072 goroutines plus per-agent channels — feasible on a big
+	// box but not a CI budget, which is precisely the scaling wall the
+	// sched subsystem exists to remove.
+	gorCap := 1 << 13
+	if cfg.Quick {
+		sizes = []dim{{8, 1 << 8}, {10, 1 << 10}}
+	}
+	type prob struct {
+		name string
+		mk   func() core.Problem[int]
+	}
+	probs := []prob{
+		{"min", func() core.Problem[int] { return problems.NewMin() }},
+		{"sum", func() core.Problem[int] { return problems.NewSum() }},
+	}
+
+	shape := true
+	violations := 0
+	skipped := 0
+	gorPPS := map[string]float64{}   // "problem/topo/n" → proper steps/sec
+	schedPPS := map[string]float64{} // same key
+	var schedMinHyperAllocs []float64
+	largestBoth := 0 // largest N at which both engines ran
+	for _, sz := range sizes {
+		if sz.n <= gorCap && sz.n > largestBoth {
+			largestBoth = sz.n
+		}
+	}
+
+	t := metrics.NewTable("engine", "problem", "topology", "N", "converged",
+		"ops", "proper", "elapsed", "proper/s", "allocs/exch")
+	for _, pr := range probs {
+		for _, topo := range []string{"ring", "hypercube"} {
+			for _, sz := range sizes {
+				var g *graph.Graph
+				if topo == "ring" {
+					g = graph.Ring(sz.n)
+				} else {
+					g = graph.Hypercube(sz.d)
+				}
+				vals := make([]int, sz.n)
+				for i := range vals {
+					vals[i] = 2 + (i*7919)%997
+				}
+				vals[sz.n/2] = 1 // planted global minimum
+				budget := 60 * sz.n
+				for _, eng := range []string{"goroutine", "sched"} {
+					if eng == "goroutine" && sz.n > gorCap {
+						skipped++
+						continue
+					}
+					// Allocation accounting wants a quiet heap: cells run
+					// strictly sequentially, GC fences each one.
+					var m0, m1 runtime.MemStats
+					runtime.GC()
+					runtime.ReadMemStats(&m0)
+					var res *rt.Result[int]
+					var err error
+					if eng == "goroutine" {
+						res, err = rt.Run[int](pr.mk(), g, vals, rt.Options{
+							Seed: 20, LinkUpProbability: 1,
+							MaxOps: budget, Timeout: 2 * time.Minute,
+						})
+					} else {
+						res, err = sched.Run[int](pr.mk(), g, vals, sched.Options{
+							Seed: 20, LinkUpProbability: 1,
+							MaxOps: budget, Timeout: 2 * time.Minute,
+						})
+					}
+					if err != nil {
+						return Section{ID: "E20", Title: "sched scaling", Body: "error: " + err.Error()}
+					}
+					runtime.ReadMemStats(&m1)
+					ops := res.Ops
+					if ops < 1 {
+						ops = 1
+					}
+					allocs := float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+					pps := res.ProperStepsPerSec()
+					key := fmt.Sprintf("%s/%s/%d", pr.name, topo, sz.n)
+					if eng == "goroutine" {
+						gorPPS[key] = pps
+					} else {
+						schedPPS[key] = pps
+						if pr.name == "min" && topo == "hypercube" {
+							schedMinHyperAllocs = append(schedMinHyperAllocs, allocs)
+							// The acceptance cell: min over the hypercube must
+							// converge at every size, 10⁵ included — the log-
+							// diameter topology is where 60·N initiations
+							// genuinely suffice.
+							if !res.Converged {
+								shape = false
+							}
+						}
+					}
+					violations += len(res.Violations)
+					t.AddRowf(eng, pr.name, topo, sz.n, res.Converged,
+						res.Ops, res.ProperSteps,
+						res.Elapsed.Round(time.Millisecond),
+						fmt.Sprintf("%.0f", pps), fmt.Sprintf("%.3f", allocs))
+				}
+			}
+		}
+	}
+	if violations != 0 {
+		shape = false
+	}
+
+	// Throughput bar: ≥5× the goroutine engine's proper steps/sec on min
+	// at the largest population both engines ran (2¹³ full, 2¹⁰ quick).
+	speedup := 0.0
+	for _, topo := range []string{"ring", "hypercube"} {
+		key := fmt.Sprintf("min/%s/%d", topo, largestBoth)
+		if gorPPS[key] > 0 && schedPPS[key]/gorPPS[key] > speedup {
+			speedup = schedPPS[key] / gorPPS[key]
+		}
+	}
+	if speedup < 5 {
+		shape = false
+	}
+	// Allocation bar: allocs/exchange on the sched engine must stay flat
+	// as N grows — the mailbox rings, run queues, and deferred heaps are
+	// all preallocated, so the per-exchange cost cannot scale with the
+	// population. "Flat" = max within 2× of min, or under an absolute
+	// floor where the ratio is just measurement noise.
+	minA, maxA := math.Inf(1), 0.0
+	for _, a := range schedMinHyperAllocs {
+		minA = math.Min(minA, a)
+		maxA = math.Max(maxA, a)
+	}
+	flat := maxA < 0.05 || maxA <= 2*minA
+	if !flat {
+		shape = false
+	}
+
+	b.WriteString(fmt.Sprintf("Engines head to head on §4.5's asynchronous realization: %d cells\n"+
+		"(min/sum × ring/hypercube × N up to %d), budget 60·N initiations each,\n"+
+		"one process, cells sequential with GC fences for exact allocation\n"+
+		"accounting. %d goroutine-per-agent cells above N = %d are skipped —\n"+
+		"that population's goroutine and channel footprint is the scaling wall\n"+
+		"the sched runtime removes:\n\n",
+		len(probs)*2*len(sizes)*2-skipped, sizes[len(sizes)-1].n, skipped, gorCap))
+	b.WriteString(t.String())
+	b.WriteString(fmt.Sprintf("\nBest min-problem speedup at N = %d (the largest head-to-head size):\n"+
+		"%.0f× proper steps/sec; sched allocs/exchange across sizes stays in\n"+
+		"[%.3f, %.3f]. Ring cells at large N wind down on budget rather than\n"+
+		"converge — a constant-degree ring moves information one hop per O(N)\n"+
+		"random initiations, so convergence needs Θ(N²) exchanges; the\n"+
+		"hypercube's log diameter is what makes 10⁵ agents feasible, and the\n"+
+		"sum cells collect total mass onto a single agent by random coalescence,\n"+
+		"slower still. Throughput is measured on converged and budget-bound\n"+
+		"cells alike (proper steps per second is well-defined either way), and\n"+
+		"the monitor asserted conservation and descent in every cell: %d\n"+
+		"violations.\n", largestBoth, speedup, minA, maxA, violations))
+	return Section{
+		ID:    "E20",
+		Title: "Sharded actor scheduler — async exchanges at 10⁵ agents without per-agent goroutines",
+		Claim: "§4.5: the asynchronous message-passing realization scales to 10⁵-agent populations when agents are multiplexed onto per-shard event loops — same protocol, same monitor verdicts, ≥5× the goroutine engine's throughput with flat per-exchange allocation.",
 		Body:  b.String(), ShapeHolds: shape,
 	}
 }

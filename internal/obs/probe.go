@@ -101,6 +101,17 @@ const (
 	CounterExchLost
 	CounterExchBackoffs
 	CounterExchBackoffNs
+	// CounterSchedEnqueues / CounterSchedDepthSum / CounterSchedSteals /
+	// CounterSchedAdmits / CounterSchedParks count the sharded scheduler's
+	// event loop: agents made runnable, run-queue depth sampled at each
+	// pop (divide by pops for mean depth), agents stolen by idle workers,
+	// busy-rejected agents re-admitted with an AIMD deadline, and workers
+	// parked on an empty system.
+	CounterSchedEnqueues
+	CounterSchedDepthSum
+	CounterSchedSteals
+	CounterSchedAdmits
+	CounterSchedParks
 	// NumCounters bounds the fixed counter array.
 	NumCounters
 )
@@ -112,6 +123,8 @@ var counterNames = [NumCounters]string{
 	"cells",
 	"exch_initiate", "exch_busy", "exch_deliver", "exch_lost",
 	"exch_backoffs", "exch_backoff_ns",
+	"sched_enqueues", "sched_depth_sum", "sched_steals",
+	"sched_admits", "sched_parks",
 }
 
 // String returns the counter's snake_case name used in report tables.

@@ -21,7 +21,7 @@ const (
 	rateOne            = 1 << 16 // fixed-point 1.0
 )
 
-// aimdBackoff derives an agent's busy-backoff window from its OBSERVED
+// AIMD derives an agent's busy-backoff window from its OBSERVED
 // rejection rate instead of the fixed [2µs, 512µs] doubling ladder the
 // runtime previously used (ROADMAP item "adaptive backoff tuning").
 //
@@ -51,7 +51,7 @@ const (
 // conservation verdicts) are unchanged for any controller behaviour —
 // the GOMAXPROCS(1) async golden test pins exactly the fields that must
 // not move. The zero value is ready to use (empty history, zero window).
-type aimdBackoff struct {
+type AIMD struct {
 	// rate is the EWMA'd busy-rejection probability in 16.16 fixed point
 	// (0 … rateOne).
 	rate int64
@@ -61,7 +61,7 @@ type aimdBackoff struct {
 }
 
 // observe folds one initiation outcome into the rejection-rate EWMA.
-func (b *aimdBackoff) observe(rejected bool) {
+func (b *AIMD) observe(rejected bool) {
 	sample := int64(0)
 	if rejected {
 		sample = rateOne
@@ -72,7 +72,7 @@ func (b *aimdBackoff) observe(rejected bool) {
 // ceiling maps the observed rejection rate onto [minBackoff,
 // hardMaxBackoff] linearly: no observed contention → the floor, every
 // initiation rejected → the hard ceiling.
-func (b *aimdBackoff) ceiling() time.Duration {
+func (b *AIMD) ceiling() time.Duration {
 	c := minBackoff + time.Duration(b.rate*int64(hardMaxBackoff-minBackoff)>>16)
 	if c > hardMaxBackoff {
 		c = hardMaxBackoff
@@ -83,7 +83,7 @@ func (b *aimdBackoff) ceiling() time.Duration {
 // onRejected records a busy rejection and returns the new window the
 // agent should draw its sleep from: multiplicative increase, clamped to
 // the rate-derived ceiling.
-func (b *aimdBackoff) onRejected() time.Duration {
+func (b *AIMD) OnRejected() time.Duration {
 	b.observe(true)
 	switch {
 	case b.window < minBackoff:
@@ -100,7 +100,7 @@ func (b *aimdBackoff) onRejected() time.Duration {
 // onSuccess records a completed exchange: additive decrease of the
 // window (never below zero — a zero window means "initiate immediately",
 // the cold-start state).
-func (b *aimdBackoff) onSuccess() {
+func (b *AIMD) OnSuccess() {
 	b.observe(false)
 	if b.window <= minBackoff {
 		b.window = 0
@@ -124,7 +124,7 @@ const fixedLadderCeiling = 512 * time.Microsecond
 // single success and immediately re-collides.
 type fixedLadder struct{ window time.Duration }
 
-func (l *fixedLadder) onRejected() time.Duration {
+func (l *fixedLadder) OnRejected() time.Duration {
 	if l.window < minBackoff {
 		l.window = minBackoff
 	} else {
@@ -136,4 +136,4 @@ func (l *fixedLadder) onRejected() time.Duration {
 	return l.window
 }
 
-func (l *fixedLadder) onSuccess() { l.window = 0 }
+func (l *fixedLadder) OnSuccess() { l.window = 0 }

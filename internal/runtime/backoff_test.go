@@ -9,10 +9,10 @@ import (
 // window multiplicatively and saturate at the hard ceiling, never
 // beyond.
 func TestAIMDWindowRisesAndCaps(t *testing.T) {
-	var b aimdBackoff
+	var b AIMD
 	prev := time.Duration(0)
 	for i := 0; i < 64; i++ {
-		w := b.onRejected()
+		w := b.OnRejected()
 		if w < minBackoff || w > hardMaxBackoff {
 			t.Fatalf("rejection %d: window %v outside [%v, %v]", i, w, minBackoff, hardMaxBackoff)
 		}
@@ -33,12 +33,12 @@ func TestAIMDWindowRisesAndCaps(t *testing.T) {
 // not reset it to zero the way the old ladder did; sustained success
 // must drain it to zero.
 func TestAIMDAdditiveDecreaseKeepsMemory(t *testing.T) {
-	var b aimdBackoff
+	var b AIMD
 	for i := 0; i < 8; i++ {
-		b.onRejected()
+		b.OnRejected()
 	}
 	inStorm := b.window
-	b.onSuccess()
+	b.OnSuccess()
 	if b.window == 0 {
 		t.Fatal("one success reset the window to zero — additive decrease lost")
 	}
@@ -46,7 +46,7 @@ func TestAIMDAdditiveDecreaseKeepsMemory(t *testing.T) {
 		t.Errorf("after one success window = %v, want additive decrease to %v", got, want)
 	}
 	for i := 0; i < 10_000 && b.window > 0; i++ {
-		b.onSuccess()
+		b.OnSuccess()
 	}
 	if b.window != 0 {
 		t.Errorf("sustained success left window at %v, want 0", b.window)
@@ -58,7 +58,7 @@ func TestAIMDAdditiveDecreaseKeepsMemory(t *testing.T) {
 // observed rejection rate approaches 1 — the "derived from observed
 // rejection rates" contract.
 func TestAIMDCeilingTracksRejectionRate(t *testing.T) {
-	var calm aimdBackoff
+	var calm AIMD
 	for i := 0; i < 256; i++ {
 		calm.observe(false)
 	}
@@ -66,7 +66,7 @@ func TestAIMDCeilingTracksRejectionRate(t *testing.T) {
 		t.Errorf("ceiling under zero rejection rate = %v, want floor %v", c, minBackoff)
 	}
 
-	var hot aimdBackoff
+	var hot AIMD
 	for i := 0; i < 256; i++ {
 		hot.observe(true)
 	}
@@ -76,7 +76,7 @@ func TestAIMDCeilingTracksRejectionRate(t *testing.T) {
 
 	// A mixed rate lands strictly between: the ceiling is a function of
 	// the measured rate, not a constant.
-	var mixed aimdBackoff
+	var mixed AIMD
 	for i := 0; i < 256; i++ {
 		mixed.observe(i%2 == 0)
 	}
@@ -89,8 +89,8 @@ func TestAIMDCeilingTracksRejectionRate(t *testing.T) {
 // TestAIMDZeroValueReady: the zero controller must hand out a sane
 // window on its very first rejection (cold start).
 func TestAIMDZeroValueReady(t *testing.T) {
-	var b aimdBackoff
-	if w := b.onRejected(); w != minBackoff {
+	var b AIMD
+	if w := b.OnRejected(); w != minBackoff {
 		t.Errorf("first rejection window = %v, want the floor %v", w, minBackoff)
 	}
 }

@@ -133,6 +133,27 @@ type Result[T any] struct {
 	// Lost counts initiated exchanges whose request was dropped in
 	// transit by the fault layer (0 when Options.Faults is nil).
 	Lost int
+	// Elapsed is the wall-clock duration of the run, stamped via the
+	// sanctioned obs clock by both async engines (goroutine-per-agent and
+	// sched) so their throughput is comparable without benchmark
+	// scaffolding.
+	Elapsed time.Duration
+	// Steals counts run-queue steals by idle workers; always 0 on the
+	// goroutine-per-agent runtime, populated by the sched engine.
+	Steals int
+	// Dynamics reports what a dynamics schedule actually did (crashes,
+	// recoveries, joins, amnesiac resets); nil when no schedule ran.
+	Dynamics *dynamics.Report
+}
+
+// ProperStepsPerSec derives the throughput figure the E20 scaling table
+// reports: proper steps per wall-clock second, 0 when Elapsed is zero
+// (a run that converged before its clock ticked, or a hand-built Result).
+func (r *Result[T]) ProperStepsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ProperSteps) / r.Elapsed.Seconds()
 }
 
 type request[T any] struct {
@@ -172,6 +193,8 @@ func (lt *linkTable) refresh(p float64, rng *rand.Rand) {
 // (gathered after all agents have stopped), so the convergence verdict is
 // exact even though progress observation is approximate.
 func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*Result[T], error) {
+	clk := obs.NewWallClock()
+	startNs := clk.Now()
 	n := g.N()
 	if len(initial) != n {
 		return nil, fmt.Errorf("runtime: %d initial states for %d agents", len(initial), n)
@@ -206,6 +229,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	if conv.Observe(0, initialM) {
 		res.Converged = true
 		res.Final = append([]T(nil), initial...)
+		res.Elapsed = time.Duration(clk.Now() - startNs)
 		return res, nil
 	}
 
@@ -255,9 +279,13 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 		return conv.Reached(ms.View(cmp, viewBuf))
 	}
 
+	// Inbox capacity is the protocol bound — at most one outstanding
+	// request per neighbour — not n: capacity-n inboxes cost O(n²) memory
+	// in total, which is what capped this engine near 10³ agents before
+	// the E20 scaling study needed 10⁴ goroutine-per-agent cells.
 	inboxes := make([]chan request[T], n)
 	for i := range inboxes {
-		inboxes[i] = make(chan request[T], n)
+		inboxes[i] = make(chan request[T], g.Degree(i)+1)
 	}
 
 	// Neighbour/edge ids per agent for link checks.
@@ -283,6 +311,20 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 		defer countMu.Unlock()
 		return int(opCount) < opts.MaxOps
 	}
+
+	// Two-phase wind-down. Cancellation must never tear an exchange: once
+	// a request is in a partner's inbox, the partner may adopt its half
+	// (a sum transfer moves mass) — if the initiator then exits without
+	// adopting the reply, conservation is violated in the finals. So on
+	// cancel an agent first finishes any exchange of its own that is in
+	// flight (serving busy meanwhile), signals it will initiate no more,
+	// and then keeps answering busy until EVERY agent has so signalled —
+	// only then can no request still be en route to its inbox, and a
+	// final non-blocking drain makes exiting safe.
+	var initiating sync.WaitGroup
+	initiating.Add(n)
+	servePhase := make(chan struct{})
+	go func() { initiating.Wait(); close(servePhase) }()
 
 	finals := make([]T, n)
 	rejections := make([]int, n)
@@ -311,7 +353,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 			// agent's own observed rejection rate (see backoff.go).
 			// Options.FixedBackoff swaps in the legacy fixed ladder — the
 			// baseline the field-validation benchmarks compare against.
-			var backoff aimdBackoff
+			var backoff AIMD
 			var ladder fixedLadder
 			useFixed := opts.FixedBackoff
 
@@ -321,11 +363,36 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				post(a, my)
 				req.reply <- response[T]{state: na}
 			}
+			// windDown is the only way out of the loop: announce this
+			// agent initiates no more, then answer busy until every agent
+			// has announced the same (so nothing can still be en route
+			// here), then drain and go. Busy replies never block: each
+			// neighbour has at most one exchange outstanding and its
+			// reply channel has capacity 1.
+			windDown := func() {
+				initiating.Done()
+				for {
+					select {
+					case req := <-inbox:
+						req.reply <- response[T]{busy: true}
+					case <-servePhase:
+						for {
+							select {
+							case req := <-inbox:
+								req.reply <- response[T]{busy: true}
+							default:
+								return
+							}
+						}
+					}
+				}
+			}
 
 			for {
 				// Serve anything pending first.
 				select {
 				case <-ctx.Done():
+					windDown()
 					return
 				case req := <-inbox:
 					serve(req)
@@ -337,6 +404,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 					// until cancellation.
 					select {
 					case <-ctx.Done():
+						windDown()
 						return
 					case req := <-inbox:
 						serve(req)
@@ -347,6 +415,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				if len(neighbours[a]) == 0 {
 					select {
 					case <-ctx.Done():
+						windDown()
 						return
 					case req := <-inbox:
 						serve(req)
@@ -388,6 +457,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 						for {
 							select {
 							case <-ctx.Done():
+								windDown()
 								return
 							case req := <-inbox:
 								serve(req)
@@ -400,25 +470,35 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 				select {
 				case inboxes[pick.agent] <- request[T]{state: my, reply: replyCh}:
 				case <-ctx.Done():
+					windDown()
 					return
 				}
 				// Await the reply; answer own inbox with busy meanwhile
 				// (prevents initiator-initiator deadlock).
 				before := my
 				rejected := false
+				dying := false
+				ctxDone := ctx.Done()
 			awaitReply:
 				for {
 					select {
-					case <-ctx.Done():
-						return
+					case <-ctxDone:
+						// The request is already in the partner's inbox (or
+						// being served): abandoning the reply would tear the
+						// exchange — the partner's half adopted, ours not.
+						// The reply is guaranteed (the partner cannot exit
+						// its serve phase while our half is in flight), so
+						// stop watching the context and wait it out.
+						dying = true
+						ctxDone = nil
 					case r := <-replyCh:
 						if r.busy {
 							rejected = true
 						} else {
 							if useFixed {
-								ladder.onSuccess()
+								ladder.OnSuccess()
 							} else {
-								backoff.onSuccess()
+								backoff.OnSuccess()
 							}
 							my = r.state
 							post(a, my)
@@ -434,6 +514,10 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 						req.reply <- response[T]{busy: true}
 					}
 				}
+				if dying {
+					windDown()
+					return
+				}
 				if rejected {
 					// Receptive backoff: serve peers instead of re-initiating
 					// for a randomized window whose size the AIMD controller
@@ -443,9 +527,9 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 					opts.Probe.Add(obs.CounterExchBusy, 1)
 					var window time.Duration
 					if useFixed {
-						window = ladder.onRejected()
+						window = ladder.OnRejected()
 					} else {
-						window = backoff.onRejected()
+						window = backoff.OnRejected()
 					}
 					wait := time.Duration(1 + rng.Int63n(int64(window)))
 					if opts.Probe != nil {
@@ -457,6 +541,7 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 					for {
 						select {
 						case <-ctx.Done():
+							windDown()
 							return
 						case req := <-inbox:
 							serve(req)
@@ -512,5 +597,6 @@ func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*
 	res.Converged = conv.Observe(res.Ops, finalM)
 	mon.ObserveQuiescence(finalM)
 	res.Violations = mon.Violations()
+	res.Elapsed = time.Duration(clk.Now() - startNs)
 	return res, nil
 }

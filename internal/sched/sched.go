@@ -1,0 +1,582 @@
+// Package sched is the scale realization of the paper's §4.5 remark: the
+// same asynchronous push-pull/busy-guard exchange protocol as
+// internal/runtime, executed by a sharded event-loop actor scheduler
+// instead of one goroutine per agent, so 10⁵–10⁶ agents cost P worker
+// goroutines and zero per-exchange allocations.
+//
+// Architecture:
+//
+//   - N agents are split into P contiguous blocks (the engine.Shards
+//     block-sizing convention; joiners home on the LAST shard). Each
+//     shard owns its agents' mailboxes — fixed-capacity message rings
+//     carved from one per-shard slab, no per-exchange channel or heap
+//     allocation — plus a FIFO run queue and a deferred min-heap, and is
+//     drained by one worker goroutine. Workers whose queue runs dry
+//     steal runnable agents from other shards (one agent per steal, so
+//     every scheduling-flag mutation happens under the agent's home
+//     shard lock).
+//
+//   - Time is virtual: the global initiation counter. The goroutine
+//     runtime parks a busy-rejected agent on a timer; here the same AIMD
+//     controller (runtime.AIMD — multiplicative increase on rejection,
+//     additive decrease on success, rejection-rate-scaled ceiling) is
+//     ADMISSION CONTROL: the rejected agent is pushed on its home
+//     deferred heap with a deadline in virtual ticks and the worker moves
+//     on. A worker with no due or queued work fast-forwards its earliest
+//     deferral rather than sleeping, so deadlines shape interleaving
+//     without ever costing wall-clock and a run on a dead-quiet system
+//     terminates immediately.
+//
+//   - The protocol and its semantic contract are unchanged: requests
+//     carry the initiator's state; a partner that is not itself awaiting
+//     a reply computes PairStep, adopts its half and replies with the
+//     other (the pair transition is atomic at the partner); an awaiting
+//     or crashed partner replies busy; the initiator admits no other
+//     exchange while its half is in flight (its mailbox drains to busy
+//     replies), so every completed exchange is exactly a D-step.
+//     Conservation and variant descent are asserted at quiescence via the
+//     shared engine.Monitor, against authoritative states gathered after
+//     every worker has stopped.
+//
+//   - Determinism keys on stable agent identity, never on workers or
+//     scheduling: every event that draws randomness (an initiation, a
+//     served request, a busy-reply jitter) reseeds the worker's FastRand
+//     with engine.SubSeed(engine.AgentSeed(seed, agent), eventIndex) —
+//     O(1) reseeds, no per-agent generator state beyond a counter. With
+//     Workers=1 the whole run — pops, steals (none), deferrals,
+//     convergence checks — is a pure function of the seed, which is the
+//     semantic pin: the 1-worker golden plays the same role GOMAXPROCS(1)
+//     plays for the goroutine runtime, and it is byte-stable across steal
+//     settings because stealing cannot occur with one shard.
+//
+//   - Dynamics run at EPOCH SAFEPOINTS: every OpsPerEpoch initiations the
+//     crossing worker requests a stop-the-world pause, all workers park
+//     at a barrier, and the requester applies one dynamics "round" —
+//     graph growth (Join), crash/wake with amnesiac resets, and the
+//     partition/burst edge-mask overlay, reusing dynamics.Applier
+//     verbatim — then resumes the fleet. A crash landing on an agent
+//     whose exchange half is in flight is DEFERRED until the reply is
+//     adopted, so the pair transition is never torn by a fault.
+//
+// Divergence from the goroutine runtime, by design: link availability is
+// a per-initiation Bernoulli draw on the initiator's stream rather than a
+// globally refreshed link table (an O(E) refresh every 16 initiations
+// does not scale to 10⁶ edges), and a system with no runnable agent —
+// islands, everyone crashed, budget drained — terminates immediately
+// instead of waiting out the wall-clock timeout.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/engine"
+	"repro/internal/env"
+	"repro/internal/graph"
+	ms "repro/internal/multiset"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// Options configures a sharded-scheduler run. The zero value of every
+// field selects a sensible default.
+type Options struct {
+	// Seed drives every random draw (neighbour selection, link and fault
+	// draws, backoff jitter), keyed per agent identity.
+	Seed int64
+	// Workers is the number of shards and worker goroutines (default
+	// GOMAXPROCS, clamped to the agent count). Workers=1 is the
+	// deterministic replay configuration the golden test pins.
+	Workers int
+	// LinkUpProbability is the chance an initiation finds its link up
+	// (1.0 = static network). Drawn per initiation on the initiator's
+	// stream — see the package comment for the divergence note.
+	LinkUpProbability float64
+	// MaxOps bounds initiated exchanges (default max(1e6, 100·N)).
+	MaxOps int
+	// Timeout bounds wall-clock time (default 30s). Virtual time makes
+	// this a safety net, not a scheduling instrument.
+	Timeout time.Duration
+	// Faults injects message loss and delivery delay at the exchange
+	// layer (dynamics.Faults), on the initiator's stream. Delays are in
+	// virtual ticks derived from DelayMax at 1µs/tick.
+	Faults *dynamics.Faults
+	// Dynamics scripts crash/wake, partition/burst windows, joins, and
+	// amnesiac rejoins, applied at epoch safepoints (one schedule "round"
+	// per OpsPerEpoch initiations). When it schedules joins, initial must
+	// hold founding+joiner states (the sim convention).
+	Dynamics *dynamics.Schedule
+	// OpsPerEpoch is the epoch length in initiations (default N): the
+	// sched analogue of a round for Dynamics schedules.
+	OpsPerEpoch int
+	// NoSteal disables work stealing (a worker then only drains its own
+	// shard). Scheduling policy only: with Workers=1 results are
+	// byte-identical either way, which the golden pins.
+	NoSteal bool
+	// CheckEvery rate-limits quiescence checks: the board is re-examined
+	// only after at least CheckEvery initiations since the last check
+	// (default max(64, N/2)), and only when some agent adopted since.
+	// Checks stay event-driven and op-bounded — at most one per adoption —
+	// but a 10⁵-agent run does not pay an O(N log N) snapshot per event.
+	CheckEvery int
+	// Probe records the exchange lifecycle and the scheduler's own
+	// counters (enqueues, queue-depth samples, steals, admissions, parks)
+	// on the observability layer. Counters only; never consulted for
+	// scheduling, so attaching one leaves the 1-worker golden
+	// byte-identical.
+	Probe *obs.Probe
+}
+
+// Run executes problem p over graph g from the given initial states on
+// the sharded event-loop scheduler until the observed state multiset
+// equals the (possibly join-extended) target or a budget is exhausted.
+// It returns the same Result type as the goroutine runtime so the two
+// async engines are directly comparable.
+func Run[T any](p core.Problem[T], g *graph.Graph, initial []T, opts Options) (*runtime.Result[T], error) {
+	clk := obs.NewWallClock()
+	start := clk.Now()
+
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("sched: empty system")
+	}
+	joiners := 0
+	if opts.Dynamics != nil {
+		joiners = opts.Dynamics.TotalJoiners()
+	}
+	if len(initial) != n+joiners {
+		if joiners > 0 {
+			return nil, fmt.Errorf("sched: %d initial states for %d founding agents + %d scheduled joiners", len(initial), n, joiners)
+		}
+		return nil, fmt.Errorf("sched: %d initial states for %d agents", len(initial), n)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = stdruntime.GOMAXPROCS(0)
+	}
+	if opts.Workers > n {
+		opts.Workers = n
+	}
+	if opts.MaxOps <= 0 {
+		opts.MaxOps = 1_000_000
+		if m := 100 * n; m > opts.MaxOps {
+			opts.MaxOps = m
+		}
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.LinkUpProbability <= 0 {
+		opts.LinkUpProbability = 1
+	}
+	if opts.OpsPerEpoch <= 0 {
+		opts.OpsPerEpoch = n
+	}
+	if opts.CheckEvery <= 0 {
+		opts.CheckEvery = n / 2
+		if opts.CheckEvery < 64 {
+			opts.CheckEvery = 64
+		}
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
+	}
+	if opts.Dynamics != nil {
+		if last := opts.Dynamics.LastJoinRound(); last >= 0 && last*opts.OpsPerEpoch >= opts.MaxOps {
+			return nil, fmt.Errorf("sched: MaxOps %d cannot reach join epoch %d of a schedule with horizon %d (OpsPerEpoch %d); raise MaxOps or lower OpsPerEpoch",
+				opts.MaxOps, last, opts.Dynamics.Horizon(), opts.OpsPerEpoch)
+		}
+	}
+
+	cmp := p.Cmp()
+	initialM := ms.New(cmp, initial[:n]...)
+	mon := engine.NewMonitor(p, initialM, 0)
+	conv := engine.NewConvergence(p.Equal, mon.Target())
+	res := &runtime.Result[T]{Target: mon.Target()}
+	if opts.Dynamics == nil && conv.Observe(0, initialM) {
+		res.Converged = true
+		res.Final = append([]T(nil), initial...)
+		res.Elapsed = time.Duration(clk.Now() - start)
+		return res, nil
+	}
+
+	r := &run[T]{
+		p:        p,
+		g:        g,
+		cmp:      cmp,
+		opts:     opts,
+		mon:      mon,
+		conv:     conv,
+		initVals: initial,
+	}
+	r.setup(n)
+
+	if opts.Dynamics != nil {
+		r.ap = opts.Dynamics.NewApplier(g, opts.Seed)
+		// Epoch 0 fires before any exchange, like sim's round 0.
+		r.applyEpoch(0)
+	}
+
+	timer := time.AfterFunc(opts.Timeout, r.halt)
+	defer timer.Stop()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(w)
+		}(w)
+	}
+	wg.Wait()
+
+	res.Final = r.states
+	res.Ops = int(r.ops.Load())
+	res.ProperSteps = int(r.properSteps.Load())
+	res.Rejections = int(r.rejections.Load())
+	res.Lost = int(r.lost.Load())
+	res.Steals = int(r.steals.Load())
+	res.QuiescenceChecks = int(r.checks.Load())
+	res.Target = mon.Target()
+	finalM := ms.New(cmp, r.states...)
+	res.Converged = conv.Observe(res.Ops, finalM)
+	mon.ObserveQuiescence(finalM)
+	if r.ap != nil {
+		// Frozen-state conservation: agents crashed at quiescence must
+		// hold exactly the state recorded when they froze.
+		frozen := make([]int, 0, 8)
+		for a := range r.states {
+			if r.crashed[a] {
+				frozen = append(frozen, a)
+			}
+		}
+		mon.CheckFrozen(int(r.ops.Load())/opts.OpsPerEpoch, cmp, frozen, r.frozenVals, r.states)
+		rep := r.ap.Report()
+		res.Dynamics = &rep
+	}
+	res.Violations = mon.Violations()
+	res.Elapsed = time.Duration(clk.Now() - start)
+	return res, nil
+}
+
+// boardSlot is one agent's cell on the observation board: the last state
+// it adopted, posted after every adoption and snapshot by the quiescence
+// check. A flat slice (not pointers) keeps the board to one allocation.
+type boardSlot[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+// nbEntry is one CSR neighbour record: the peer agent and the connecting
+// edge id (for the dynamics edge-mask check).
+type nbEntry struct {
+	agent int32
+	edge  int32
+}
+
+// run is one execution's complete state.
+type run[T any] struct {
+	p    core.Problem[T]
+	g    *graph.Graph
+	cmp  func(a, b T) int
+	opts Options
+
+	mon  *engine.Monitor[T]
+	conv *engine.Convergence[T]
+	ap   *dynamics.Applier
+
+	shards    []shard[T]
+	blockSize int // founding block size: agent a homes on shard min(a/blockSize, P-1)
+
+	// Agent arrays, indexed by id. Scheduling flags live in flags under
+	// the home shard lock; everything else is owned by the worker
+	// currently processing the agent (ownership transfers through the
+	// queue locks) or by the safepoint requester (all workers parked).
+	states       []T
+	initVals     []T // founding + joiners, the amnesiac reset source
+	frozenVals   []T
+	flags        []uint8
+	seedBase     []int64
+	eventSeq     []uint32
+	awaiting     []bool
+	crashed      []bool
+	pendingCrash []bool
+	sendTo       []int32 // delayed request's target (-1 = none)
+	sendDue      []int64
+	actDue       []int64 // admission deadline in virtual ticks
+	backoff      []runtime.AIMD
+	rings        []ring
+
+	// CSR neighbour lists, rebuilt at join safepoints.
+	nbrOff []int32
+	nbrs   []nbEntry
+
+	// es holds the dynamics edge/agent mask overlay for the current
+	// epoch; written only at safepoints, read by workers.
+	es env.State
+
+	// Virtual time and budget: ops is the global initiation counter and
+	// vnow the virtual clock. vnow advances with ops AND with
+	// fast-forwarded deferrals — without the latter, a moment where every
+	// agent is deferred (a busy storm, an all-delayed epoch) would freeze
+	// the clock the deferrals are waiting on: nobody initiates, ops never
+	// moves, the system spins until the wall-clock net. vnow ≥ ops always.
+	ops         atomic.Int64
+	vnow        atomic.Int64
+	budgetOut   atomic.Bool
+	nextEpochAt atomic.Int64
+	epoch       int // next epoch to apply; safepoint-requester-owned
+
+	// runnable counts agents that are queued, deferred, or running; the
+	// transition to zero means nothing can ever happen again.
+	runnable atomic.Int64
+
+	properSteps atomic.Int64
+	rejections  atomic.Int64
+	lost        atomic.Int64
+	steals      atomic.Int64
+	checks      atomic.Int64
+
+	// Observation board and quiescence-check state.
+	board        []boardSlot[T]
+	adoptions    atomic.Int64
+	checkedAdopt atomic.Int64 // adoptions count consumed by the last check
+	lastCheckOps atomic.Int64
+	checkMu      sync.Mutex
+	viewBuf      []T
+
+	// Stop machinery and the safepoint barrier.
+	stop     atomic.Bool
+	sp       safepoint
+	sleepers atomic.Int64
+}
+
+// safepoint is the stop-the-world barrier dynamics epochs run under.
+type safepoint struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	want       atomic.Bool
+	conducting bool // a worker is already conducting this safepoint
+	parked     int
+	exited     int
+}
+
+// setup builds every run structure for the founding population.
+func (r *run[T]) setup(n int) {
+	P := r.opts.Workers
+	r.blockSize = (n + P - 1) / P
+	r.shards = make([]shard[T], P)
+	r.states = append([]T(nil), r.initVals[:n]...)
+	r.frozenVals = make([]T, n)
+	r.flags = make([]uint8, n)
+	r.seedBase = make([]int64, n)
+	r.eventSeq = make([]uint32, n)
+	r.awaiting = make([]bool, n)
+	r.crashed = make([]bool, n)
+	r.pendingCrash = make([]bool, n)
+	r.sendTo = make([]int32, n)
+	r.sendDue = make([]int64, n)
+	r.actDue = make([]int64, n)
+	r.backoff = make([]runtime.AIMD, n)
+	r.board = make([]boardSlot[T], n)
+	r.viewBuf = make([]T, 0, n)
+	for a := 0; a < n; a++ {
+		r.seedBase[a] = engine.AgentSeed(r.opts.Seed, a)
+		r.sendTo[a] = -1
+		r.board[a].v = r.states[a]
+	}
+	r.buildCSR()
+	for s := range r.shards {
+		sh := &r.shards[s]
+		sh.lo = s * r.blockSize
+		sh.hi = sh.lo + r.blockSize
+		if sh.lo > n {
+			sh.lo = n
+		}
+		if sh.hi > n || s == len(r.shards)-1 {
+			sh.hi = n
+		}
+		sh.wake = make(chan struct{}, 1)
+	}
+	r.buildMailboxes()
+	r.sp.cond = sync.NewCond(&r.sp.mu)
+	r.nextEpochAt.Store(int64(r.opts.OpsPerEpoch))
+	// Seed the adoption cursor one behind so the first rate-limit window
+	// always produces a check even if no agent ever adopts (an initial
+	// state already at the target under a dynamics schedule).
+	r.checkedAdopt.Store(-1)
+
+	// Every agent starts runnable, enqueued on its home shard in id
+	// order.
+	r.runnable.Store(int64(n))
+	for s := range r.shards {
+		sh := &r.shards[s]
+		if c := pow2(sh.hi - sh.lo); c > 0 {
+			sh.runq = make([]int32, c)
+		}
+		for a := sh.lo; a < sh.hi; a++ {
+			r.flags[a] = flagQueued
+			sh.rqPush(int32(a))
+		}
+		if cap(sh.deferred) == 0 {
+			sh.deferred = make([]deferEntry, 0, sh.hi-sh.lo+1)
+		}
+	}
+}
+
+// buildCSR (re)builds the flat neighbour lists from the graph, skipping
+// retired edges. O(N+E); called at setup and join safepoints.
+func (r *run[T]) buildCSR() {
+	n := r.g.N()
+	if cap(r.nbrOff) < n+1 {
+		r.nbrOff = make([]int32, n+1)
+	}
+	r.nbrOff = r.nbrOff[:n+1]
+	for i := range r.nbrOff {
+		r.nbrOff[i] = 0
+	}
+	edges := r.g.EdgesView()
+	live := 0
+	for id := range edges {
+		if r.g.EdgeRetired(id) {
+			continue
+		}
+		r.nbrOff[edges[id].A+1]++
+		r.nbrOff[edges[id].B+1]++
+		live++
+	}
+	for i := 1; i <= n; i++ {
+		r.nbrOff[i] += r.nbrOff[i-1]
+	}
+	if cap(r.nbrs) < 2*live {
+		r.nbrs = make([]nbEntry, 2*live)
+	}
+	r.nbrs = r.nbrs[:2*live]
+	fill := make([]int32, n)
+	for id := range edges {
+		if r.g.EdgeRetired(id) {
+			continue
+		}
+		e := edges[id]
+		r.nbrs[r.nbrOff[e.A]+fill[e.A]] = nbEntry{agent: int32(e.B), edge: int32(id)}
+		fill[e.A]++
+		r.nbrs[r.nbrOff[e.B]+fill[e.B]] = nbEntry{agent: int32(e.A), edge: int32(id)}
+		fill[e.B]++
+	}
+}
+
+// buildMailboxes (re)builds every shard's mailbox slab and every agent's
+// ring, preserving pending messages. O(N+E); setup and join safepoints
+// only.
+func (r *run[T]) buildMailboxes() {
+	n := r.g.N()
+	oldRings := r.rings
+	newRings := make([]ring, n)
+	for s := range r.shards {
+		sh := &r.shards[s]
+		total := int32(0)
+		for a := sh.lo; a < sh.hi; a++ {
+			deg := int(r.nbrOff[a+1] - r.nbrOff[a])
+			if a < len(oldRings) {
+				// A rebuild may shrink an agent's degree (retired edges)
+				// below its pending backlog; size for both.
+				if pending := int(oldRings[a].tail - oldRings[a].head); pending > deg {
+					deg = pending
+				}
+			}
+			c := ringCap(deg)
+			newRings[a] = ring{off: total, mask: c - 1}
+			total += int32(c)
+		}
+		fresh := make([]message[T], total)
+		if oldRings != nil {
+			for a := sh.lo; a < sh.hi && a < len(oldRings); a++ {
+				or := &oldRings[a]
+				for {
+					m, ok := popMsg(or, sh.slab)
+					if !ok {
+						break
+					}
+					pushMsg(&newRings[a], fresh, m)
+				}
+			}
+		}
+		sh.slab = fresh
+	}
+	r.rings = newRings
+}
+
+// home returns the agent's home shard index: contiguous blocks of the
+// founding block size, with every overflow id (joiners) homed on the
+// last shard — the engine.Shards append convention.
+//
+//det:hotpath
+func (r *run[T]) home(a int32) *shard[T] {
+	s := int(a) / r.blockSize
+	if s >= len(r.shards) {
+		s = len(r.shards) - 1
+	}
+	return &r.shards[s]
+}
+
+// halt stops the run: all sleepers wake, barrier waiters recheck, and
+// every worker exits at its next loop top.
+func (r *run[T]) halt() {
+	r.stop.Store(true)
+	for s := range r.shards {
+		sh := &r.shards[s]
+		sh.mu.Lock()
+		wake := sh.sleeping
+		sh.sleeping = false
+		sh.mu.Unlock()
+		if wake {
+			select {
+			case sh.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	r.sp.mu.Lock()
+	r.sp.cond.Broadcast()
+	r.sp.mu.Unlock()
+}
+
+// post publishes agent a's newly adopted state on the observation board.
+//
+//det:hotpath
+func (r *run[T]) post(a int32, v T) {
+	sl := &r.board[a]
+	sl.mu.Lock()
+	sl.v = v
+	sl.mu.Unlock()
+	r.adoptions.Add(1)
+}
+
+// advance moves the virtual clock forward to at least tick (monotonic
+// CAS-max; concurrent advances commute).
+//
+//det:hotpath
+func (r *run[T]) advance(tick int64) {
+	for {
+		cur := r.vnow.Load()
+		if tick <= cur || r.vnow.CompareAndSwap(cur, tick) {
+			return
+		}
+	}
+}
+
+// pow2 rounds n up to a power of two (minimum 8).
+func pow2(n int) int {
+	c := 8
+	for c < n {
+		c <<= 1
+	}
+	return c
+}

@@ -14,6 +14,13 @@
 # per agent or per edge), while ns/round grows with the matching draw's
 # O(usable edges).
 #
+# The file also records the sched engine's scaling row: BenchmarkSchedScale
+# runs min over the hypercube at N = 2^10, 2^13, 2^17 on the sharded
+# actor runtime and reports proper steps per wall-clock second from the
+# engine's own clock (see Result.ProperStepsPerSec); the claim to watch
+# there is throughput staying within one order of magnitude across three
+# decades of N while allocs/op stays setup-only flat.
+#
 # Usage: scripts/bench_record.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,11 +30,12 @@ out_file=${1:-BENCH_roundscale.json}
 # skip, an OOM kill, a renamed sub-benchmark) must fail the record, not
 # produce a shorter file that downstream diffing misreads as a trend.
 expected_cells=3
+expected_sched_cells=3
 
-out=$(go test -run '^$' -bench 'BenchmarkSimRoundScale$|BenchmarkSimRoundProbed$' -benchtime=1x -benchmem .)
+out=$(go test -run '^$' -bench 'BenchmarkSimRoundScale$|BenchmarkSimRoundProbed$|BenchmarkSchedScale$' -benchtime=1x -benchmem .)
 echo "$out"
 
-echo "$out" | awk -v want="$expected_cells" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+echo "$out" | awk -v want="$expected_cells" -v want_sched="$expected_sched_cells" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   # roundsof scans the current benchmark line for its rounds/op metric;
   # "" if the benchmark did not report one.
   function roundsof(   i) {
@@ -53,6 +61,26 @@ echo "$out" | awk -v want="$expected_cells" -v date="$(date -u +%Y-%m-%dT%H:%M:%
       printf "bench_record: rounds/op differs across cells (%s vs %s)\n", rop[cells], rop[1] > "/dev/stderr"
       bad = 1
     }
+  }
+  # ppsof scans the current benchmark line for its propersteps/s metric.
+  function ppsof(   i) {
+    for (i = 2; i <= NF; i++) if ($i == "propersteps/s") return $(i - 1)
+    return ""
+  }
+  $1 ~ /^BenchmarkSchedScale\/N=/ {
+    split($1, sparts, "=")
+    sub(/-[0-9]+$/, "", sparts[2])
+    scells++
+    pps = ppsof()
+    if (sparts[2] !~ /^[0-9]+$/ || pps !~ /^[0-9.]+(e\+?[0-9]+)?$/ || pps + 0 <= 0 ||
+        $(NF-1) !~ /^[0-9]+$/ || $NF != "allocs/op") {
+      printf "bench_record: unparseable sched benchmark line: %s\n", $0 > "/dev/stderr"
+      bad = 1
+      next
+    }
+    sn[scells] = sparts[2]
+    spps[scells] = pps + 0
+    sallocs[scells] = $(NF-1)
   }
   $1 ~ /^BenchmarkSimRoundProbed/ {
     probed_rounds = roundsof() + 0
@@ -81,6 +109,10 @@ echo "$out" | awk -v want="$expected_cells" -v date="$(date -u +%Y-%m-%dT%H:%M:%
       printf "bench_record: no BenchmarkSimRoundProbed phase metrics in output\n" > "/dev/stderr"
       exit 1
     }
+    if (scells != want_sched) {
+      printf "bench_record: got %d BenchmarkSchedScale cells, want %d\n", scells, want_sched > "/dev/stderr"
+      exit 1
+    }
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkSimRoundScale\",\n"
     printf "  \"recorded\": \"%s\",\n", date
@@ -96,6 +128,14 @@ echo "$out" | awk -v want="$expected_cells" -v date="$(date -u +%Y-%m-%dT%H:%M:%
     for (i = 1; i <= nphase; i++)
       printf "\"%s\": %.1f%s", pname[i], pns[i], (i < nphase ? ", " : "")
     printf "}\n"
+    printf "  },\n"
+    printf "  \"sched_scale\": {\n"
+    printf "    \"benchmark\": \"BenchmarkSchedScale\",\n"
+    printf "    \"cells\": [\n"
+    for (i = 1; i <= scells; i++)
+      printf "      {\"n\": %s, \"propersteps_per_sec\": %.0f, \"allocs_per_op\": %s}%s\n",
+        sn[i], spps[i], sallocs[i], (i < scells ? "," : "")
+    printf "    ]\n"
     printf "  }\n}\n"
   }
 ' > "$out_file"

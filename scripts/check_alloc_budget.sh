@@ -63,12 +63,22 @@
 # same fixed-cost set). A regression that allocates per phase sample
 # adds hundreds per op (32 rounds × 7+ phase brackets) and fails loudly.
 #
+# BenchmarkSchedExchange1e4 pins the sharded actor scheduler's
+# per-exchange allocation contract: an 8192-agent hypercube min cell with
+# a 60·N (~500k) initiation budget runs to convergence in ~73 allocs/op —
+# exclusively setup (shard structs, mailbox slab, CSR arrays, run
+# queues); the event loop's push/pop/steal/defer hot path is
+# allocation-free by the detlint hotalloc contract. The budget of 400
+# sits ~5× above setup: a regression that allocates even one object per
+# exchange (a boxed message, a heap node) adds tens of thousands and
+# fails loudly.
+#
 # Benchmarks run one iteration with a fixed seed, so allocs/op is a stable
 # budget number for the simulator and a bounded-noise one for the runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$|BenchmarkSimPairwiseDelta1e5$|BenchmarkJoinSplice$|BenchmarkSimRoundProbed$' -benchtime=1x -benchmem .)
+out=$(go test -run '^$' -bench 'BenchmarkSimComponentRing64$|BenchmarkSimPairwiseSharded4k$|BenchmarkAsyncRuntimeMin$|BenchmarkSweepGrid$|BenchmarkSimWithDynamics$|BenchmarkSimPairwiseDelta1e5$|BenchmarkJoinSplice$|BenchmarkSimRoundProbed$|BenchmarkSchedExchange1e4$' -benchtime=1x -benchmem .)
 echo "$out"
 
 fail=0
@@ -106,4 +116,5 @@ check BenchmarkSimWithDynamics 1600
 check BenchmarkSimPairwiseDelta1e5 400
 check BenchmarkJoinSplice 400
 check BenchmarkSimRoundProbed 400
+check BenchmarkSchedExchange1e4 400
 exit $fail

@@ -59,6 +59,7 @@ import (
 	ms "repro/internal/multiset"
 	"repro/internal/problems"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -287,6 +288,24 @@ func SimulateAsync[T any](p Problem[T], g *Graph, initial []T, opts AsyncOptions
 // links, 10s timeout.
 func DefaultAsyncOptions(seed int64) AsyncOptions {
 	return AsyncOptions{Seed: seed, LinkUpProbability: 1, Timeout: 10 * time.Second}
+}
+
+// SchedOptions configures a sharded event-loop scheduler run.
+type SchedOptions = sched.Options
+
+// SimulateSched runs the same asynchronous push-pull protocol as
+// SimulateAsync on the sharded event-loop actor scheduler: P worker
+// goroutines multiplex all N agents, so 10⁵–10⁶-agent systems are
+// feasible. Returns the same AsyncResult as SimulateAsync, so the two
+// engines are directly comparable.
+func SimulateSched[T any](p Problem[T], g *Graph, initial []T, opts SchedOptions) (*AsyncResult[T], error) {
+	return sched.Run(p, g, initial, opts)
+}
+
+// DefaultSchedOptions returns sensible scheduler defaults: one worker
+// per core, static links, stealing on.
+func DefaultSchedOptions(seed int64) SchedOptions {
+	return SchedOptions{Seed: seed, LinkUpProbability: 1}
 }
 
 // --- Checkers (the §3 conditions as library calls) ---
